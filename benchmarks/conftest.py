@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through the
+experiment registry (quick mode), asserts the paper's qualitative shape
+(who wins, by roughly what factor), and reports the wall-clock cost of the
+reproduction through pytest-benchmark.
+
+Heavy experiments run a single round: the value of interest is the
+reproduced result, not micro-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return runner

@@ -1,0 +1,141 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+These do not correspond to a paper table/figure; they quantify how sensitive
+the reproduced results are to modelling choices:
+
+* bank-level parallelism and the tFAW constraint in the self-destruction
+  throughput model,
+* FR-FCFS vs. FCFS scheduling in the memory controller,
+* the weak-cell fraction driving the CODIC-sig PUF response sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coldboot.mechanisms import CODICSelfDestruction
+from repro.dram.geometry import DRAMGeometry, ModuleGeometry
+from repro.dram.module import DRAMModule
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR3_1600_11_11_11
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.request import MemoryRequest, RequestType
+from repro.memctrl.scheduler import FCFSScheduler, FRFCFSScheduler
+from repro.utils.units import GB
+
+
+def test_bench_ablation_bank_parallelism(run_once):
+    """Destruction time must stop improving once tFAW becomes the bottleneck."""
+
+    def sweep():
+        times = {}
+        for banks in (1, 2, 4, 8, 16):
+            geometry = ModuleGeometry(
+                chip=DRAMGeometry(banks=banks, rows_per_bank=65536 * 8 // banks,
+                                  row_bits=8192),
+                chips_per_rank=8,
+            )
+            times[banks] = CODICSelfDestruction().destroy(geometry).destruction_time_ns
+        return times
+
+    times = run_once(sweep)
+    # More banks always helps (or is neutral)...
+    assert times[1] > times[2] > times[4] >= times[8]
+    # ...but beyond the tFAW limit extra banks stop helping (within 5 %).
+    assert abs(times[16] - times[8]) / times[8] < 0.05
+
+
+def test_bench_ablation_scheduler_policy(run_once):
+    """FR-FCFS must not be slower than FCFS on a row-locality-heavy queue."""
+
+    def run_policy(scheduler):
+        geometry = ModuleGeometry(
+            chip=DRAMGeometry(banks=8, rows_per_bank=1024, row_bits=8192),
+            chips_per_rank=8,
+        )
+        controller = MemoryController(geometry=geometry, scheduler=scheduler)
+        rng = np.random.default_rng(7)
+        # Interleave accesses to two rows of the same bank: a first-ready
+        # scheduler batches row hits, FCFS ping-pongs between the rows.
+        addresses = []
+        for index in range(200):
+            row = int(rng.integers(0, 2))
+            column = int(rng.integers(0, 128))
+            addresses.append(row * 8192 * 8 + column * 64)
+        for address in addresses:
+            while controller.read_queue_full():
+                controller.service_one()
+            controller.enqueue(MemoryRequest(RequestType.READ, address, arrival_ns=0.0))
+        return controller.drain()
+
+    def compare():
+        return run_policy(FRFCFSScheduler()), run_policy(FCFSScheduler())
+
+    frfcfs_time, fcfs_time = run_once(compare)
+    assert frfcfs_time <= fcfs_time
+
+
+def test_bench_ablation_weak_cell_fraction(run_once):
+    """PUF response sizes must scale with the chip's weak-cell fraction."""
+
+    def measure():
+        sizes = {}
+        geometry = DRAMGeometry(banks=8, rows_per_bank=64, row_bits=8192)
+        for seed in range(6):
+            module = DRAMModule(
+                module_id=f"ablation-{seed}", chip_geometry=geometry, seed=seed
+            )
+            fraction = float(np.mean([chip.sig_weak_fraction for chip in module.chips]))
+            rng = np.random.default_rng(seed)
+            response_sizes = [
+                len(module.sig_response(module.random_segment(rng), rng=rng))
+                for _ in range(10)
+            ]
+            sizes[fraction] = float(np.mean(response_sizes))
+        return sizes
+
+    sizes = run_once(measure)
+    fractions = sorted(sizes)
+    # Response size grows with the weak-cell fraction (compare extremes).
+    assert sizes[fractions[-1]] > sizes[fractions[0]]
+
+
+def test_bench_ablation_tfaw_sensitivity(run_once):
+    """Tightening tFAW must proportionally slow CODIC self-destruction."""
+
+    def sweep():
+        geometry = ModuleGeometry.for_capacity(1 * GB)
+        results = {}
+        for tfaw in (20.0, 30.0, 40.0):
+            from dataclasses import replace
+
+            timing = replace(DDR3_1600_11_11_11, tFAW_ns=tfaw)
+            results[tfaw] = CODICSelfDestruction().destroy(geometry, timing).destruction_time_ns
+        return results
+
+    results = run_once(sweep)
+    assert results[40.0] > results[30.0] > results[20.0]
+    # In the tFAW-limited regime the destruction time scales ~linearly.
+    assert results[40.0] / results[20.0] > 1.5
+
+
+def test_bench_rank_throughput_model_consistency(run_once):
+    """The analytic per-row interval must match the rank state machine."""
+
+    def measure():
+        timing = DDR3_1600_11_11_11
+        rank = Rank(timing=timing, num_banks=8)
+        from repro.dram.commands import CommandType
+
+        issue = 0.0
+        count = 200
+        for index in range(count):
+            bank = index % 8
+            issue = rank.earliest_issue_time(CommandType.CODIC, bank, issue)
+            rank.issue(CommandType.CODIC, bank, issue, row=index // 8)
+        measured_interval = issue / (count - 1)
+        analytic_interval = rank.sustained_activation_interval_ns(timing.tRAS_ns)
+        return measured_interval, analytic_interval
+
+    measured, analytic = run_once(measure)
+    assert measured == __import__("pytest").approx(analytic, rel=0.1)

@@ -1,0 +1,43 @@
+"""Benchmarks regenerating Figure 5 (PUF quality) and Figure 6 (temperature)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig5_jaccard_quality(run_once):
+    result = run_once(run_experiment, "fig5")
+
+    def rows_for(puf_name):
+        return [row for row in result.rows if row[0] == puf_name]
+
+    codic_rows = rows_for("CODIC-sig PUF")
+    latency_rows = rows_for("DRAM Latency PUF")
+    prelat_rows = rows_for("PreLatPUF")
+    assert len(codic_rows) == 2  # DDR3 and DDR3L
+
+    # Paper shape: CODIC-sig -> Intra near 1, Inter near 0.
+    for row in codic_rows:
+        assert row[2] > 0.9
+        assert row[4] < 0.1
+    # Latency PUF: lower Intra than CODIC, Inter still near 0.
+    for codic, latency in zip(codic_rows, latency_rows):
+        assert latency[2] < codic[2]
+        assert latency[4] < 0.1
+    # PreLatPUF: repeatable but poorly unique (dispersed Inter).
+    for codic, prelat in zip(codic_rows, prelat_rows):
+        assert prelat[2] > 0.9
+        assert prelat[4] > codic[4]
+
+
+def test_bench_fig6_temperature_robustness(run_once):
+    result = run_once(run_experiment, "fig6")
+    codic = result.row_by("PUF", "CODIC-sig PUF")
+    prelat = result.row_by("PUF", "PreLatPUF")
+    latency = result.row_by("PUF", "DRAM Latency PUF")
+    # Paper: CODIC-sig and PreLatPUF stay near 1 at dT = 55C; the Latency PUF
+    # degrades substantially.
+    assert codic[-1] > 0.9
+    assert prelat[-1] > 0.9
+    assert latency[-1] < latency[1]
+    assert latency[-1] < 0.8

@@ -1,0 +1,63 @@
+"""Benchmarks regenerating Figure 7 (destruction time), the Section 6.2 energy
+comparison and Table 6 (overheads vs. memory encryption)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coldboot.evaluation import DestructionSweep
+from repro.experiments import run_experiment
+from repro.utils.units import GB, MB
+
+
+def test_bench_fig7_destruction_time(run_once):
+    result = run_once(run_experiment, "fig7")
+    assert [row[0] for row in result.rows] == ["64MB", "256MB", "1GB", "4GB", "16GB", "64GB"]
+    for speedup in result.column("CODIC speedup vs TCG"):
+        assert float(speedup[:-1]) > 100
+
+
+def test_bench_fig7_absolute_times_match_paper(run_once):
+    def sweep():
+        return DestructionSweep().run()
+
+    points = run_once(sweep)
+    by_capacity = {point.capacity_bytes: point for point in points}
+    # Paper Figure 7 anchor points (64 MB and 64 GB), within 20 %.
+    small = by_capacity[64 * MB]
+    large = by_capacity[64 * GB]
+    assert small.result("CODIC").destruction_time_ns == pytest.approx(60_000, rel=0.2)
+    assert small.result("RowClone").destruction_time_ns == pytest.approx(120_000, rel=0.2)
+    assert small.result("LISA-clone").destruction_time_ns == pytest.approx(150_000, rel=0.2)
+    assert small.result("TCG").destruction_time_ns == pytest.approx(34e6, rel=0.2)
+    assert large.result("CODIC").destruction_time_ns == pytest.approx(63e6, rel=0.2)
+    assert large.result("TCG").destruction_time_ns == pytest.approx(34.8e9, rel=0.2)
+    # Crossover claim: TCG is never competitive at or above 1 GB.
+    for capacity in (1 * GB, 4 * GB, 16 * GB, 64 * GB):
+        point = by_capacity[capacity]
+        assert point.speedup_over("CODIC", "TCG") > 100
+
+
+def test_bench_fig7_energy_comparison(run_once):
+    result = run_once(run_experiment, "fig7-energy")
+    ratios = {
+        mechanism: float(ratio[:-1])
+        for mechanism, ratio in zip(result.column("Mechanism"), result.column("Ratio vs CODIC"))
+    }
+    # Paper: 41.7x / 2.5x / 1.7x more energy than CODIC.
+    assert ratios["TCG"] > 20
+    assert ratios["LISA-clone"] == pytest.approx(2.5, rel=0.2)
+    assert ratios["RowClone"] == pytest.approx(1.7, rel=0.2)
+
+
+def test_bench_table6_overheads(run_once):
+    result = run_once(run_experiment, "table6")
+    codic = result.row_by("Mechanism", "CODIC Self-Destruction")
+    chacha = result.row_by("Mechanism", "ChaCha-8")
+    aes = result.row_by("Mechanism", "AES-128")
+    # Paper Table 6: CODIC has zero runtime overheads and ~1.1 % DRAM area;
+    # the ciphers pay 17 % / 12 % runtime power and processor area instead.
+    assert codic[1] == 0.0 and codic[2] == 0.0 and codic[4] == pytest.approx(1.1, abs=0.1)
+    assert chacha[2] == pytest.approx(17.0)
+    assert aes[2] == pytest.approx(12.0)
+    assert chacha[4] == 0.0 and aes[4] == 0.0

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Table 11 (CODIC-sigsa Monte Carlo bit flips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.montecarlo import MonteCarloEngine
+
+
+def test_bench_table11_process_variation(run_once):
+    engine = MonteCarloEngine(samples=100_000)
+
+    def sweep():
+        return engine.sweep_variation([2.0, 3.0, 4.0, 5.0])
+
+    results = run_once(sweep)
+    flips = {result.variation_percent: result.flip_percent for result in results}
+    # Paper Table 11: 0.00 / 0.00 / 0.02 / 0.19 % of SAs flip.
+    assert flips[2.0] == pytest.approx(0.0, abs=0.005)
+    assert flips[3.0] == pytest.approx(0.0, abs=0.005)
+    assert flips[4.0] < 0.1
+    assert 0.05 < flips[5.0] < 0.6
+    assert flips[5.0] > flips[4.0] >= flips[3.0]
+
+
+def test_bench_table11_temperature(run_once):
+    engine = MonteCarloEngine(samples=100_000)
+
+    def sweep():
+        return engine.sweep_temperature([30.0, 60.0, 70.0, 85.0], variation_percent=4.0)
+
+    results = run_once(sweep)
+    # Paper: temperature does not cause significant variation (all < 0.25 %).
+    for result in results:
+        assert result.flip_percent < 0.5

@@ -1,0 +1,25 @@
+"""Benchmarks regenerating Table 1 (signal timings) and Table 2 (latency/energy)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1_signal_timings(run_once):
+    result = run_once(run_experiment, "table1")
+    commands = result.column("Command")
+    assert {"CODIC-sig", "CODIC-det", "CODIC-activate", "CODIC-precharge"} <= set(commands)
+
+
+def test_bench_table2_latency_energy(run_once):
+    result = run_once(run_experiment, "table2")
+    latencies = dict(zip(result.column("Primitive"), result.column("Latency (ns)")))
+    energies = dict(zip(result.column("Primitive"), result.column("Energy (nJ)")))
+    # Paper Table 2: 35 ns for activate/sig/det, 13 ns for precharge/sig-opt,
+    # and ~17 nJ for every variant.
+    assert latencies["CODIC-activate"] == 35.0
+    assert latencies["CODIC-sig"] == 35.0
+    assert latencies["CODIC-det"] == 35.0
+    assert latencies["CODIC-precharge"] == 13.0
+    assert latencies["CODIC-sig-opt"] == 13.0
+    assert all(16.5 <= energy <= 17.8 for energy in energies.values())

@@ -1,0 +1,29 @@
+"""Benchmark regenerating the waveform figures (2b, 3a, 3b, 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_waveform_figures(run_once):
+    result = run_once(run_experiment, "waveforms")
+    sig = result.row_by("Figure", "fig3a-codic-sig")
+    det = result.row_by("Figure", "fig3b-codic-det")
+    activate = result.row_by("Figure", "fig2b-activate")
+    precharge = result.row_by("Figure", "fig2b-precharge")
+    sigsa = result.row_by("Figure", "fig10-codic-sigsa")
+
+    # Figure 3a: CODIC-sig leaves the cell at Vdd/2.
+    assert sig[2] == pytest.approx(0.5, abs=0.05)
+    # Figure 3b: CODIC-det drives cell and bitline to 0.
+    assert det[2] == pytest.approx(0.0, abs=0.05)
+    assert det[3] == pytest.approx(0.0, abs=0.05)
+    # Figure 2b: activation restores the stored '1'; precharge leaves the
+    # bitline at Vdd/2 without touching the cell.
+    assert activate[2] == pytest.approx(1.0, abs=0.05)
+    assert precharge[3] == pytest.approx(0.5, abs=0.05)
+    assert precharge[2] == pytest.approx(1.0, abs=0.05)
+    # Figure 10: CODIC-sigsa amplifies the precharged bitline to a full value.
+    assert sigsa[3] in (pytest.approx(0.0, abs=0.05), pytest.approx(1.0, abs=0.05))

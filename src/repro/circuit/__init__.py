@@ -1,0 +1,56 @@
+"""Behavioral analog model of the DRAM cell / bitline / sense-amplifier circuit.
+
+The paper validates CODIC variants with SPICE simulations of the sense
+amplifier from Keeth's textbook design using 22 nm PTM transistor models.
+This package substitutes a time-stepped *behavioral* model that reproduces the
+state trajectories those simulations are used for:
+
+* precharge of the bitline pair to ``Vdd/2`` via the EQ signal,
+* charge sharing between the cell capacitor and the bitline when the wordline
+  is raised,
+* regenerative amplification by the cross-coupled sense amplifier when
+  ``sense_n`` / ``sense_p`` are asserted, including the functional asymmetries
+  the paper relies on (NMOS-first resolves to 0, PMOS-first resolves to 1,
+  simultaneous assertion resolves by the developed differential plus the
+  process-variation-dependent SA offset),
+* restore of the cell through the open access transistor.
+
+Voltages are normalized so that ``Vdd == 1.0`` and the precharge level is
+``0.5``.  Time is in nanoseconds.
+"""
+
+from repro.circuit.process_variation import (
+    ComponentVariation,
+    VariationModel,
+    VariationParameters,
+)
+from repro.circuit.components import (
+    Bitline,
+    CellCapacitor,
+    PrechargeUnit,
+    CircuitConstants,
+)
+from repro.circuit.sense_amplifier import SenseAmplifier
+from repro.circuit.cell import DRAMCell
+from repro.circuit.waveform import ControlWaveforms, Waveform, WaveformSet
+from repro.circuit.simulator import CellCircuitSimulator, SimulationResult
+from repro.circuit.montecarlo import MonteCarloEngine, MonteCarloResult
+
+__all__ = [
+    "ComponentVariation",
+    "VariationModel",
+    "VariationParameters",
+    "CircuitConstants",
+    "CellCapacitor",
+    "Bitline",
+    "PrechargeUnit",
+    "SenseAmplifier",
+    "DRAMCell",
+    "Waveform",
+    "WaveformSet",
+    "ControlWaveforms",
+    "CellCircuitSimulator",
+    "SimulationResult",
+    "MonteCarloEngine",
+    "MonteCarloResult",
+]

@@ -1,0 +1,54 @@
+"""A single DRAM cell: capacitor + access transistor + its variation sample."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.components import CircuitConstants
+from repro.circuit.process_variation import ComponentVariation
+
+
+@dataclass
+class DRAMCell:
+    """Logical state of one DRAM cell.
+
+    The cell stores an analog voltage in ``[0, Vdd]``; the digital value it
+    represents is obtained by comparing against ``Vdd/2``.  The cell also
+    carries its process-variation sample, which is what makes two cells on two
+    different chips behave differently under CODIC-sig.
+    """
+
+    variation: ComponentVariation = field(default_factory=ComponentVariation)
+    voltage: float = 0.0
+    constants: CircuitConstants = field(default_factory=CircuitConstants)
+
+    def write(self, value: int) -> None:
+        """Write a full digital value (0 or 1) into the cell."""
+        if value not in (0, 1):
+            raise ValueError(f"cell value must be 0 or 1, got {value!r}")
+        self.voltage = self.constants.vdd if value else 0.0
+
+    def read_value(self) -> int:
+        """Digital interpretation of the stored analog voltage."""
+        return 1 if self.voltage >= self.constants.vpre else 0
+
+    def is_near_precharge(self, tolerance: float = 0.05) -> bool:
+        """True when the cell voltage sits within ``tolerance`` of Vdd/2."""
+        return abs(self.voltage - self.constants.vpre) <= tolerance
+
+    def decay(self, seconds: float, temperature_c: float = 30.0) -> None:
+        """Leak the cell voltage towards Vdd/2 over ``seconds``.
+
+        This implements the retention behaviour the paper exploits in its
+        real-chip emulation methodology: without refresh, cells drift towards
+        the precharge voltage, faster at higher temperature and for leakier
+        cells.
+        """
+        acceleration = 2.0 ** ((temperature_c - 30.0) / 10.0)
+        tau = self.constants.leakage_tau_s / (
+            self.variation.leakage_factor * acceleration
+        )
+        import math
+
+        decay = 1.0 - math.exp(-seconds / max(tau, 1e-9))
+        self.voltage += (self.constants.vpre - self.voltage) * decay

@@ -1,0 +1,158 @@
+"""Monte Carlo engine for process-variation sweeps (paper Table 11).
+
+The paper evaluates CODIC-sigsa by running 100,000 SPICE Monte Carlo samples
+per process-variation level and counting how many sense amplifiers resolve a
+perfectly precharged bitline to '0' instead of the nominal '1'.  This module
+reproduces that experiment with the behavioral model.
+
+Two execution paths are provided:
+
+* a *vectorized* path that uses the closed-form resolution rule of the SA
+  (sign of the effective offset) -- this is what the table-scale sweeps use;
+* a *full-simulation* path that runs the time-stepped circuit simulator for a
+  subset of samples, used by the tests to check that both paths agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.components import CircuitConstants
+from repro.circuit.process_variation import (
+    NOMINAL_TEMPERATURE_C,
+    STRUCTURAL_SA_OFFSET,
+    THERMAL_OFFSET_SIGMA_PER_DEGREE,
+    VariationModel,
+    VariationParameters,
+    ComponentVariation,
+)
+from repro.circuit.simulator import CellCircuitSimulator
+from repro.circuit.waveform import ControlWaveforms
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Result of one Monte Carlo sweep point."""
+
+    variation_percent: float
+    temperature_c: float
+    samples: int
+    bit_flips: int
+
+    @property
+    def flip_rate(self) -> float:
+        """Fraction of samples that flipped away from the nominal value."""
+        return self.bit_flips / self.samples if self.samples else 0.0
+
+    @property
+    def flip_percent(self) -> float:
+        """Flip rate expressed in percent, as reported in Table 11."""
+        return 100.0 * self.flip_rate
+
+
+@dataclass
+class MonteCarloEngine:
+    """Runs SA-offset Monte Carlo sweeps for CODIC-sigsa-style commands."""
+
+    seed: int = 12345
+    samples: int = 100_000
+    constants: CircuitConstants = field(default_factory=CircuitConstants)
+
+    def sweep_variation(
+        self,
+        variation_percents: list[float],
+        temperature_c: float = NOMINAL_TEMPERATURE_C,
+    ) -> list[MonteCarloResult]:
+        """Flip rates across process-variation levels at a fixed temperature."""
+        return [
+            self.run_point(percent, temperature_c) for percent in variation_percents
+        ]
+
+    def sweep_temperature(
+        self,
+        temperatures_c: list[float],
+        variation_percent: float = 4.0,
+    ) -> list[MonteCarloResult]:
+        """Flip rates across temperatures at a fixed process-variation level."""
+        return [
+            self.run_point(variation_percent, temperature)
+            for temperature in temperatures_c
+        ]
+
+    def run_point(
+        self, variation_percent: float, temperature_c: float
+    ) -> MonteCarloResult:
+        """Vectorized Monte Carlo at one (variation, temperature) point.
+
+        A sample flips when its effective SA offset (static mismatch plus
+        thermal drift) is negative, i.e. the SA resolves the precharged
+        bitline to 0 instead of the structural default of 1.
+        """
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + int(variation_percent * 100)) ^ int(temperature_c)
+        )
+        parameters = VariationParameters(variation_percent=variation_percent)
+        offsets = STRUCTURAL_SA_OFFSET + rng.normal(
+            0.0, parameters.sa_offset_sigma, size=self.samples
+        )
+        delta_t = abs(temperature_c - NOMINAL_TEMPERATURE_C)
+        if delta_t > 0:
+            offsets = offsets + rng.normal(
+                0.0, THERMAL_OFFSET_SIGMA_PER_DEGREE * delta_t, size=self.samples
+            )
+        flips = int(np.count_nonzero(offsets < 0.0))
+        return MonteCarloResult(
+            variation_percent=variation_percent,
+            temperature_c=temperature_c,
+            samples=self.samples,
+            bit_flips=flips,
+        )
+
+    def run_point_full_simulation(
+        self,
+        variation_percent: float,
+        temperature_c: float,
+        waveforms: ControlWaveforms,
+        samples: int = 200,
+    ) -> MonteCarloResult:
+        """Slow path: run the full circuit simulator for each sample.
+
+        Used by tests to verify that the vectorized shortcut agrees with the
+        time-stepped dynamics for the CODIC-sigsa waveform.
+        """
+        rng = np.random.default_rng(self.seed)
+        model = VariationModel(
+            parameters=VariationParameters(variation_percent=variation_percent),
+            rng=rng,
+        )
+        simulator = CellCircuitSimulator(constants=self.constants)
+        flips = 0
+        for _ in range(samples):
+            variation = model.sample()
+            result = simulator.run(
+                waveforms,
+                initial_cell_voltage=self.constants.vpre,
+                variation=variation,
+                temperature_c=temperature_c,
+                record=False,
+            )
+            if result.final_bitline_value == 0:
+                flips += 1
+        return MonteCarloResult(
+            variation_percent=variation_percent,
+            temperature_c=temperature_c,
+            samples=samples,
+            bit_flips=flips,
+        )
+
+    def sample_variations(
+        self, variation_percent: float, count: int
+    ) -> list[ComponentVariation]:
+        """Draw ``count`` full component-variation samples (helper for tests)."""
+        model = VariationModel(
+            parameters=VariationParameters(variation_percent=variation_percent),
+            rng=np.random.default_rng(self.seed),
+        )
+        return model.sample_many(count)

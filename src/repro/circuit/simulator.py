@@ -1,0 +1,200 @@
+"""Time-stepped simulation of one DRAM cell access under arbitrary signal timings.
+
+This is the behavioral replacement for the paper's SPICE simulations: given
+the drive waveforms of the four internal signals (``wl``, ``EQ``, ``sense_p``,
+``sense_n``), it integrates the cell / bitline / sense-amplifier dynamics over
+the CODIC time window and reports the resulting cell and bitline values along
+with full analog traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.cell import DRAMCell
+from repro.circuit.components import (
+    Bitline,
+    CellCapacitor,
+    CircuitConstants,
+    PrechargeUnit,
+)
+from repro.circuit.process_variation import ComponentVariation
+from repro.circuit.sense_amplifier import SenseAmplifier
+from repro.circuit.waveform import ControlWaveforms, WaveformSet
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one command on one cell."""
+
+    #: Final analog voltage of the cell capacitor.
+    final_cell_voltage: float
+    #: Final analog voltage of the bitline.
+    final_bitline_voltage: float
+    #: Digital value of the cell at the end of the window (vs. Vdd/2).
+    final_cell_value: int
+    #: Digital value latched on the bitline at the end of the window.
+    final_bitline_value: int
+    #: True when the cell ended within 5 % of the precharge voltage, which is
+    #: the CODIC-sig post-condition.
+    cell_at_precharge: bool
+    #: Time at which the bitline reached 90 % of a full rail excursion, or
+    #: ``None`` if it never did (e.g., a pure precharge command).
+    amplification_complete_ns: float | None
+    #: Recorded analog and digital traces.
+    waveforms: WaveformSet
+    #: Total simulated time window.
+    window_ns: float
+
+
+@dataclass
+class CellCircuitSimulator:
+    """Simulates one cell + bitline pair + SA under given control waveforms."""
+
+    constants: CircuitConstants = field(default_factory=CircuitConstants)
+
+    def run(
+        self,
+        waveforms: ControlWaveforms,
+        initial_cell_voltage: float,
+        variation: ComponentVariation | None = None,
+        temperature_c: float = 30.0,
+        record: bool = True,
+    ) -> SimulationResult:
+        """Simulate one command window.
+
+        Parameters
+        ----------
+        waveforms:
+            Drive waveforms of the four internal control signals.
+        initial_cell_voltage:
+            Analog voltage stored in the cell before the command (0, Vdd, or
+            anything in between, e.g. Vdd/2 after a CODIC-sig).
+        variation:
+            Process-variation sample for this cell/SA pair; defaults to the
+            nominal (variation-free) component.
+        temperature_c:
+            Operating temperature; shifts the SA offset through its
+            temperature coefficient.
+        record:
+            When False, analog traces are not stored (faster for sweeps).
+        """
+        constants = self.constants
+        variation = variation or ComponentVariation()
+
+        cell = CellCapacitor(
+            voltage=initial_cell_voltage, cap_factor=variation.cell_cap_factor
+        )
+        bitline = Bitline(voltage=constants.vpre, cap_factor=variation.bitline_cap_factor)
+        reference = Bitline(voltage=constants.vpre, cap_factor=1.0)
+        precharge_unit = PrechargeUnit()
+        amplifier = SenseAmplifier(variation=variation, temperature_c=temperature_c)
+
+        traces = WaveformSet()
+        if record:
+            traces.track(
+                ["Vcell", "Vbitline", "Vreference", "wl", "EQ", "sense_p", "sense_n"]
+            )
+
+        dt = constants.dt_ns
+        time_ns = 0.0
+        window = waveforms.window_ns
+        amplification_complete: float | None = None
+
+        steps = int(round(window / dt))
+        for step_index in range(steps + 1):
+            time_ns = step_index * dt
+            wl_on = waveforms.level("wl", time_ns) == 1
+            eq_on = waveforms.level("EQ", time_ns) == 1
+            sense_p_on = waveforms.level("sense_p", time_ns) == 1
+            sense_n_on = waveforms.level("sense_n", time_ns) == 1
+
+            if record:
+                traces.record(
+                    time_ns,
+                    {
+                        "Vcell": cell.voltage,
+                        "Vbitline": bitline.voltage,
+                        "Vreference": reference.voltage,
+                        "wl": 1.0 if wl_on else 0.0,
+                        "EQ": 1.0 if eq_on else 0.0,
+                        "sense_p": 1.0 if sense_p_on else 0.0,
+                        "sense_n": 1.0 if sense_n_on else 0.0,
+                    },
+                )
+
+            if step_index == steps:
+                break
+
+            if eq_on:
+                precharge_unit.apply(bitline, reference, constants, dt)
+            if wl_on:
+                cell.share_charge(bitline, constants, variation.wl_drive_factor, dt)
+            amplifier.step(bitline, reference, sense_n_on, sense_p_on, constants, dt)
+
+            if amplification_complete is None:
+                excursion = abs(bitline.voltage - constants.vpre)
+                if excursion >= 0.9 * (constants.vdd - constants.vpre):
+                    amplification_complete = time_ns + dt
+
+        final_cell_value = 1 if cell.voltage >= constants.vpre else 0
+        final_bitline_value = 1 if bitline.voltage >= constants.vpre else 0
+        cell_at_precharge = abs(cell.voltage - constants.vpre) <= 0.05 * constants.vdd
+
+        return SimulationResult(
+            final_cell_voltage=cell.voltage,
+            final_bitline_voltage=bitline.voltage,
+            final_cell_value=final_cell_value,
+            final_bitline_value=final_bitline_value,
+            cell_at_precharge=cell_at_precharge,
+            amplification_complete_ns=amplification_complete,
+            waveforms=traces,
+            window_ns=window,
+        )
+
+    def run_sequence(
+        self,
+        waveform_sequence: list[ControlWaveforms],
+        initial_cell_voltage: float,
+        variation: ComponentVariation | None = None,
+        temperature_c: float = 30.0,
+        record: bool = False,
+    ) -> list[SimulationResult]:
+        """Simulate several command windows back-to-back on the same cell.
+
+        The cell voltage carries over between windows; bitlines are assumed to
+        be precharged between commands (the memory controller always inserts a
+        precharge before re-activating, and CODIC commands are row-granular).
+        This is how CODIC-sig followed by a regular activation is evaluated.
+        """
+        results: list[SimulationResult] = []
+        cell_voltage = initial_cell_voltage
+        for waveforms in waveform_sequence:
+            result = self.run(
+                waveforms,
+                initial_cell_voltage=cell_voltage,
+                variation=variation,
+                temperature_c=temperature_c,
+                record=record,
+            )
+            results.append(result)
+            cell_voltage = result.final_cell_voltage
+        return results
+
+    def simulate_dram_cell(
+        self,
+        waveforms: ControlWaveforms,
+        cell: DRAMCell,
+        temperature_c: float = 30.0,
+        record: bool = False,
+    ) -> SimulationResult:
+        """Simulate a command against a :class:`DRAMCell` and update its state."""
+        result = self.run(
+            waveforms,
+            initial_cell_voltage=cell.voltage,
+            variation=cell.variation,
+            temperature_c=temperature_c,
+            record=record,
+        )
+        cell.voltage = result.final_cell_voltage
+        return result

@@ -1,0 +1,50 @@
+"""Cold-boot attack prevention (Sections 5.2 and 6.2).
+
+A cold-boot attack transplants a powered-off DRAM module into an
+attacker-controlled machine and reads out whatever charge survived the power
+cycle.  The paper's defence, *self-destruction*, overwrites the whole module
+with CODIC-generated values autonomously at power-on, before the (possibly
+attacker-controlled) memory controller can issue any command.
+
+This package provides:
+
+* :mod:`repro.coldboot.attack`       -- the retention-decay attack model used
+  to quantify how much data an attacker recovers with and without protection,
+* :mod:`repro.coldboot.mechanisms`   -- the four destruction mechanisms of
+  Figure 7 (TCG firmware zeroing, LISA-clone, RowClone, CODIC) with their
+  latency and energy models,
+* :mod:`repro.coldboot.evaluation`   -- the module-size sweep of Figure 7 and
+  the 8 GB energy comparison of Section 6.2,
+* :mod:`repro.coldboot.ciphers`      -- the runtime/power/area overhead
+  comparison against ChaCha-8 and AES-128 memory encryption (Table 6).
+"""
+
+from repro.coldboot.attack import ColdBootAttack, AttackOutcome
+from repro.coldboot.mechanisms import (
+    DestructionMechanism,
+    DestructionResult,
+    TCGZeroing,
+    RowCloneDestruction,
+    LISACloneDestruction,
+    CODICSelfDestruction,
+    all_mechanisms,
+)
+from repro.coldboot.evaluation import DestructionSweep, SweepPoint
+from repro.coldboot.ciphers import CipherOverheadModel, OverheadComparison, table6_comparison
+
+__all__ = [
+    "ColdBootAttack",
+    "AttackOutcome",
+    "DestructionMechanism",
+    "DestructionResult",
+    "TCGZeroing",
+    "RowCloneDestruction",
+    "LISACloneDestruction",
+    "CODICSelfDestruction",
+    "all_mechanisms",
+    "DestructionSweep",
+    "SweepPoint",
+    "CipherOverheadModel",
+    "OverheadComparison",
+    "table6_comparison",
+]

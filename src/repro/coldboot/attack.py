@@ -1,0 +1,106 @@
+"""Cold-boot attack model.
+
+The attack model follows the paper's threat model (Section 5.2.1): the
+attacker powers the module off for an arbitrarily short time (transplant or
+malicious reboot), then reads the contents on a machine under their control.
+Data survives the power-off period according to the per-cell retention times
+of the chip model (colder modules retain longer); the defender's protection
+is measured by how much of the *original* data the attacker can still
+recover after the defence runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.module import DRAMModule, SegmentAddress
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one simulated cold-boot attack."""
+
+    #: Number of bits the attacker compared against the victim's data.
+    bits_examined: int
+    #: Number of bits that still matched the victim's data after the attack.
+    bits_recovered: int
+    #: Power-off duration the attacker needed (seconds).
+    power_off_seconds: float
+    temperature_c: float
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of examined bits the attacker recovered correctly."""
+        return self.bits_recovered / self.bits_examined if self.bits_examined else 0.0
+
+    def succeeded(self, threshold: float = 0.75) -> bool:
+        """Heuristic: the attack succeeds when most bits are recovered.
+
+        Error-correcting key-recovery attacks tolerate some bit decay, so the
+        default threshold is well below 100 %.
+        """
+        return self.recovery_rate >= threshold
+
+
+@dataclass
+class ColdBootAttack:
+    """Simulates transplant-style cold-boot attacks against a module."""
+
+    module: DRAMModule
+    #: Power-off duration of the transplant, in seconds.
+    power_off_seconds: float = 2.0
+    #: Temperature during the transplant (attackers often chill the module to
+    #: slow decay; 30 C models a room-temperature attack).
+    temperature_c: float = 30.0
+    seed: int = 77
+    _rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.power_off_seconds < 0:
+            raise ValueError("power_off_seconds must be non-negative")
+        self._rng = make_rng(self.seed, "coldboot-attack")
+
+    def plant_secret(self, segment: SegmentAddress) -> np.ndarray:
+        """Write a random secret into one segment and return it."""
+        secret = self._rng.integers(0, 2, self.module.segment_bits).astype(np.uint8)
+        self.module.write_segment(segment, secret)
+        return secret
+
+    def execute(
+        self,
+        segment: SegmentAddress,
+        secret: np.ndarray,
+        defence_ran: bool = False,
+    ) -> AttackOutcome:
+        """Run the attack against one segment.
+
+        ``defence_ran`` indicates that a destruction mechanism already
+        overwrote the module at power-on (the caller is responsible for having
+        invoked it on the module); the attack then reads whatever the defence
+        left behind.
+        """
+        secret = np.asarray(secret, dtype=np.uint8)
+        if secret.shape != (self.module.segment_bits,):
+            raise ValueError("secret must cover exactly one segment")
+
+        for chip in self.module.chips:
+            chip.disable_refresh()
+            chip.advance_time(self.power_off_seconds, self.temperature_c)
+
+        observed = self.module.read_segment(
+            segment, temperature_c=self.temperature_c, rng=self._rng
+        )
+
+        for chip in self.module.chips:
+            chip.enable_refresh()
+
+        matching = int(np.count_nonzero(observed == secret))
+        return AttackOutcome(
+            bits_examined=int(secret.size),
+            bits_recovered=matching,
+            power_off_seconds=self.power_off_seconds,
+            temperature_c=self.temperature_c,
+        )

@@ -1,0 +1,96 @@
+"""Module-size sweep for the destruction mechanisms (Figure 7, Section 6.2).
+
+The sweep evaluates the destruction time of every mechanism for module sizes
+from 64 MB (low-cost-device memories) to a hypothetical single-rank 64 GB
+module, and the destruction energy for the 8 GB module used in the paper's
+energy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.coldboot.mechanisms import DestructionMechanism, DestructionResult, all_mechanisms
+from repro.dram.geometry import ModuleGeometry
+from repro.dram.timing import timing_for_module
+from repro.utils.units import GB, MB, format_bytes
+
+#: Module capacities of Figure 7.
+FIGURE7_CAPACITIES: tuple[int, ...] = (
+    64 * MB,
+    256 * MB,
+    1 * GB,
+    4 * GB,
+    16 * GB,
+    64 * GB,
+)
+
+#: Capacity used for the energy comparison in Section 6.2.
+ENERGY_COMPARISON_CAPACITY: int = 8 * GB
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Results of all mechanisms at one module capacity."""
+
+    capacity_bytes: int
+    results: tuple[DestructionResult, ...]
+
+    @property
+    def capacity_label(self) -> str:
+        """Human-readable capacity (Figure 7 x-axis label)."""
+        return format_bytes(self.capacity_bytes).replace(".0 ", "")
+
+    def result(self, mechanism: str) -> DestructionResult:
+        """Result of one mechanism at this capacity."""
+        for result in self.results:
+            if result.mechanism == mechanism:
+                return result
+        raise KeyError(f"no result for mechanism {mechanism!r}")
+
+    def speedup_over(self, mechanism: str, baseline: str) -> float:
+        """Destruction-time speedup of ``mechanism`` over ``baseline``."""
+        return (
+            self.result(baseline).destruction_time_ns
+            / self.result(mechanism).destruction_time_ns
+        )
+
+    def energy_ratio_over(self, mechanism: str, baseline: str) -> float:
+        """Energy advantage of ``mechanism`` over ``baseline``."""
+        return self.result(baseline).energy_nj / self.result(mechanism).energy_nj
+
+
+@dataclass
+class DestructionSweep:
+    """Runs the Figure 7 capacity sweep."""
+
+    mechanisms: Sequence[DestructionMechanism] = field(default_factory=all_mechanisms)
+    capacities: Sequence[int] = FIGURE7_CAPACITIES
+    chips_per_rank: int = 8
+    ranks: int = 1
+
+    def geometry_for(self, capacity_bytes: int) -> ModuleGeometry:
+        """Module geometry used at one sweep capacity."""
+        return ModuleGeometry.for_capacity(
+            capacity_bytes, chips_per_rank=self.chips_per_rank, ranks=self.ranks
+        )
+
+    def run_point(self, capacity_bytes: int) -> SweepPoint:
+        """Evaluate every mechanism at one module capacity."""
+        geometry = self.geometry_for(capacity_bytes)
+        timing = timing_for_module(capacity_bytes, self.chips_per_rank, self.ranks)
+        results = tuple(
+            mechanism.destroy(geometry, timing) for mechanism in self.mechanisms
+        )
+        return SweepPoint(capacity_bytes=capacity_bytes, results=results)
+
+    def run(self) -> list[SweepPoint]:
+        """Evaluate every mechanism at every Figure 7 capacity."""
+        return [self.run_point(capacity) for capacity in self.capacities]
+
+    def energy_comparison(
+        self, capacity_bytes: int = ENERGY_COMPARISON_CAPACITY
+    ) -> SweepPoint:
+        """The Section 6.2 energy comparison (8 GB module)."""
+        return self.run_point(capacity_bytes)

@@ -1,0 +1,67 @@
+"""The CODIC substrate: programmable control over DRAM internal circuit timings.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.signals` -- the four internal control signals and the
+  notion of a *signal schedule* (when each signal asserts and de-asserts
+  within the 25 ns CODIC window, at 1 ns steps).
+* :mod:`repro.core.variants` -- the library of CODIC command variants
+  (CODIC-sig, CODIC-det, CODIC-sig-opt, CODIC-sigsa, and the variants that
+  mimic regular activation/precharge), plus design-space enumeration
+  (300 valid pulses per signal, 300^4 variants in total).
+* :mod:`repro.core.delay_element` -- the configurable delay-element circuit
+  (buffer chain + 25-to-1 multiplexer) and its area/energy/latency cost model.
+* :mod:`repro.core.mode_registers` -- the 4 dedicated 10-bit mode registers
+  that store a variant's signal timings, programmed via the standard MRS
+  command.
+* :mod:`repro.core.command` -- the CODIC DDRx command encoding.
+* :mod:`repro.core.substrate` -- the :class:`CODICSubstrate` facade that ties
+  the pieces together and executes variants against the circuit model or a
+  DRAM chip model.
+"""
+
+from repro.core.signals import (
+    CONTROL_SIGNALS,
+    SIGNAL_STEP_NS,
+    SIGNAL_WINDOW_NS,
+    SignalPulse,
+    SignalSchedule,
+)
+from repro.core.variants import (
+    CODICVariant,
+    VariantFunction,
+    VariantLibrary,
+    classify_schedule,
+    count_pulses_per_signal,
+    count_total_variants,
+    estimate_latency_ns,
+    standard_variants,
+)
+from repro.core.delay_element import ConfigurableDelayElement, DelayPathCost
+from repro.core.mode_registers import ModeRegister, ModeRegisterFile, MRSCommand
+from repro.core.command import CODICCommand, CODICCommandEncoder
+from repro.core.substrate import CODICSubstrate
+
+__all__ = [
+    "CONTROL_SIGNALS",
+    "SIGNAL_STEP_NS",
+    "SIGNAL_WINDOW_NS",
+    "SignalPulse",
+    "SignalSchedule",
+    "CODICVariant",
+    "VariantFunction",
+    "VariantLibrary",
+    "classify_schedule",
+    "count_pulses_per_signal",
+    "count_total_variants",
+    "estimate_latency_ns",
+    "standard_variants",
+    "ConfigurableDelayElement",
+    "DelayPathCost",
+    "ModeRegister",
+    "ModeRegisterFile",
+    "MRSCommand",
+    "CODICCommand",
+    "CODICCommandEncoder",
+    "CODICSubstrate",
+]

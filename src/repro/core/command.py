@@ -1,0 +1,76 @@
+"""The CODIC DDRx command and its encoding (Section 4.2.2).
+
+The CODIC command has the same bus format as a regular activation: it carries
+a bank and row address, and it additionally selects which CODIC mode-register
+set supplies the internal signal timings.  The paper integrates it into the
+JEDEC command space using reserved encodings, as prior academic work and
+patents do for other new commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CODICCommand:
+    """One CODIC command issued on the DDRx bus."""
+
+    bank: int
+    row: int
+    register_set: int = 0
+    rank: int = 0
+    channel: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("bank", "row", "register_set", "rank", "channel"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class CODICCommandEncoder:
+    """Encodes/decodes CODIC commands into a DDRx-style address field.
+
+    The encoding mirrors how an activation carries its row address: the row
+    bits occupy the address pins, the bank bits occupy BA[2:0], and the
+    register-set index rides on otherwise unused high address pins (there is
+    reserved space in the JEDEC command encoding for this, per Section 4.2.2).
+    """
+
+    row_bits: int = 16
+    bank_bits: int = 3
+    register_set_bits: int = 2
+
+    def encode(self, command: CODICCommand) -> int:
+        """Pack a command into an integer bus word."""
+        if command.row >= (1 << self.row_bits):
+            raise ValueError(
+                f"row {command.row} does not fit in {self.row_bits} address bits"
+            )
+        if command.bank >= (1 << self.bank_bits):
+            raise ValueError(
+                f"bank {command.bank} does not fit in {self.bank_bits} bank bits"
+            )
+        if command.register_set >= (1 << self.register_set_bits):
+            raise ValueError(
+                f"register set {command.register_set} does not fit in "
+                f"{self.register_set_bits} bits"
+            )
+        word = command.row
+        word |= command.bank << self.row_bits
+        word |= command.register_set << (self.row_bits + self.bank_bits)
+        return word
+
+    def decode(self, word: int, rank: int = 0, channel: int = 0) -> CODICCommand:
+        """Unpack an integer bus word into a command."""
+        if word < 0:
+            raise ValueError("bus word must be non-negative")
+        row = word & ((1 << self.row_bits) - 1)
+        bank = (word >> self.row_bits) & ((1 << self.bank_bits) - 1)
+        register_set = (word >> (self.row_bits + self.bank_bits)) & (
+            (1 << self.register_set_bits) - 1
+        )
+        return CODICCommand(
+            bank=bank, row=row, register_set=register_set, rank=rank, channel=channel
+        )

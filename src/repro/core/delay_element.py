@@ -1,0 +1,121 @@
+"""Configurable delay-element circuit and its cost model (Section 4.2.1).
+
+CODIC generates each internal signal through either the fixed DDRx delay path
+(for regular commands) or a *configurable* delay path built from a chain of
+buffers feeding a 25-to-1 multiplexer, selected by the ``IS_DDRx`` control.
+Each buffer stage contributes ~1 ns of propagation delay, so selecting tap
+``k`` delays the signal by ``k`` nanoseconds relative to the command start.
+
+The cost model reproduces the numbers reported in the paper:
+
+* area overhead of ~0.28 % per mat per signal (1.12 % for all four signals),
+* energy overhead below 500 fJ per command,
+* 0.028 ns of extra delay from the 2-to-1 output multiplexer on the regular
+  DDRx path, compensated by buffer sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.signals import CONTROL_SIGNALS, SIGNAL_WINDOW_NS
+
+#: Number of buffer stages in the configurable chain (one tap per nanosecond
+#: of the CODIC window, minus the zero-delay tap).
+BUFFER_STAGES = int(SIGNAL_WINDOW_NS) - 1
+
+#: Propagation delay contributed by one buffer stage (ns).
+BUFFER_STAGE_DELAY_NS = 1.0
+
+#: Extra delay introduced on the regular DDRx path by the 2-to-1 multiplexer
+#: that selects between the fixed and the configurable delay element (ns).
+PATH_SELECT_MUX_DELAY_NS = 0.028
+
+#: Area overhead of one configurable delay element, as a fraction of the area
+#: of one mat (512 x 512 cells at 6F^2 per cell).
+AREA_OVERHEAD_PER_SIGNAL_FRACTION = 0.0028
+
+#: Energy consumed by the delay element per CODIC command (femtojoules).
+ENERGY_PER_COMMAND_FJ = 480.0
+
+#: Reference energy of a full activation command (nanojoules), for comparison.
+ACTIVATION_ENERGY_NJ = 17.0
+
+
+@dataclass(frozen=True)
+class DelayPathCost:
+    """Aggregate cost of adding CODIC's configurable delay paths to a chip."""
+
+    signals: int
+    area_overhead_fraction: float
+    energy_per_command_fj: float
+    added_ddrx_delay_ns: float
+
+    @property
+    def area_overhead_percent(self) -> float:
+        """Area overhead in percent of a mat."""
+        return 100.0 * self.area_overhead_fraction
+
+    @property
+    def energy_relative_to_activation(self) -> float:
+        """Delay-element energy as a fraction of one activation's energy."""
+        return (self.energy_per_command_fj * 1e-6) / ACTIVATION_ENERGY_NJ
+
+
+@dataclass
+class ConfigurableDelayElement:
+    """Behavioral model of one per-signal configurable delay element.
+
+    The element delays its input edge by an integer number of buffer stages,
+    selected by ``tap``; ``tap`` is exactly the value a CODIC mode register
+    stores for the corresponding signal's assert (or de-assert) time.
+    """
+
+    signal: str
+    tap: int = 0
+    coarsening: int = 1
+
+    def __post_init__(self) -> None:
+        if self.signal not in CONTROL_SIGNALS:
+            raise ValueError(f"unknown control signal {self.signal!r}")
+        if not 0 <= self.tap <= BUFFER_STAGES:
+            raise ValueError(
+                f"tap must be within [0, {BUFFER_STAGES}], got {self.tap}"
+            )
+        if self.coarsening < 1:
+            raise ValueError("coarsening must be >= 1")
+
+    @property
+    def delay_ns(self) -> float:
+        """Delay applied to the signal edge, in nanoseconds."""
+        return self.tap * BUFFER_STAGE_DELAY_NS
+
+    @property
+    def stage_count(self) -> int:
+        """Number of physical buffer stages (reduced by coarsening)."""
+        return max(1, BUFFER_STAGES // self.coarsening)
+
+    def select(self, tap: int) -> "ConfigurableDelayElement":
+        """Return a copy of this element configured for a different tap."""
+        return ConfigurableDelayElement(
+            signal=self.signal, tap=tap, coarsening=self.coarsening
+        )
+
+    def area_overhead_fraction(self) -> float:
+        """Area overhead of this element as a fraction of one mat.
+
+        Coarsening the time granularity reduces the number of buffer stages
+        and the multiplexer fan-in proportionally (footnote 3 of the paper).
+        """
+        return AREA_OVERHEAD_PER_SIGNAL_FRACTION / self.coarsening
+
+
+def total_cost(coarsening: int = 1) -> DelayPathCost:
+    """Cost of instrumenting all four internal signals (Section 4.2.1)."""
+    per_signal = AREA_OVERHEAD_PER_SIGNAL_FRACTION / coarsening
+    return DelayPathCost(
+        signals=len(CONTROL_SIGNALS),
+        area_overhead_fraction=per_signal * len(CONTROL_SIGNALS),
+        energy_per_command_fj=ENERGY_PER_COMMAND_FJ,
+        added_ddrx_delay_ns=0.0,  # compensated by buffer sizing (Section 4.2.1)
+    )

@@ -1,0 +1,127 @@
+"""CODIC mode registers and the MRS programming interface (Section 4.2.2).
+
+CODIC stores the timings of the four internal signals in four dedicated
+10-bit mode registers (MRs), programmed through the standard DDRx Mode
+Register Set (MRS) command.  Each register packs a signal's assert time
+(5 bits) and de-assert time (5 bits); a value of zero means the signal is not
+driven by the CODIC command.
+
+A chip may expose several *register sets* so that different CODIC variants
+(or different DRAM regions) can be configured simultaneously, as the paper
+suggests for supporting more than one variant at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.signals import CONTROL_SIGNALS, SignalSchedule
+
+#: Width of one CODIC mode register in bits.
+MODE_REGISTER_WIDTH_BITS = 10
+
+#: Maximum value storable in a CODIC mode register.
+MODE_REGISTER_MAX_VALUE = (1 << MODE_REGISTER_WIDTH_BITS) - 1
+
+
+@dataclass
+class ModeRegister:
+    """One 10-bit CODIC mode register."""
+
+    name: str
+    value: int = 0
+
+    def write(self, value: int) -> None:
+        """Write a raw register value (range-checked)."""
+        if not 0 <= value <= MODE_REGISTER_MAX_VALUE:
+            raise ValueError(
+                f"mode register value {value} out of range "
+                f"[0, {MODE_REGISTER_MAX_VALUE}]"
+            )
+        self.value = value
+
+    def read(self) -> int:
+        """Read the raw register value."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class MRSCommand:
+    """A Mode Register Set command targeting one CODIC register.
+
+    ``register_set`` selects which CODIC register bank is addressed when the
+    chip implements more than one; ``signal`` identifies the register within
+    the bank; ``value`` is the 10-bit payload.
+    """
+
+    signal: str
+    value: int
+    register_set: int = 0
+
+    def __post_init__(self) -> None:
+        if self.signal not in CONTROL_SIGNALS:
+            raise ValueError(f"unknown control signal {self.signal!r}")
+        if not 0 <= self.value <= MODE_REGISTER_MAX_VALUE:
+            raise ValueError(f"MRS value {self.value} does not fit in 10 bits")
+        if self.register_set < 0:
+            raise ValueError("register_set must be non-negative")
+
+
+@dataclass
+class ModeRegisterFile:
+    """A bank of CODIC mode-register sets.
+
+    The default configuration provides a single register set (4 registers);
+    manufacturers can provision more to hold several variants at once.
+    """
+
+    register_sets: int = 1
+    _registers: list[dict[str, ModeRegister]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.register_sets < 1:
+            raise ValueError("at least one register set is required")
+        self._registers = [
+            {signal: ModeRegister(name=f"MR_CODIC_{signal}_{set_index}")
+             for signal in CONTROL_SIGNALS}
+            for set_index in range(self.register_sets)
+        ]
+
+    def apply_mrs(self, command: MRSCommand) -> None:
+        """Execute one MRS command against this register file."""
+        if command.register_set >= self.register_sets:
+            raise IndexError(
+                f"register set {command.register_set} does not exist "
+                f"(chip has {self.register_sets})"
+            )
+        self._registers[command.register_set][command.signal].write(command.value)
+
+    def program_schedule(self, schedule: SignalSchedule, register_set: int = 0) -> list[MRSCommand]:
+        """Program a full signal schedule, returning the MRS commands issued."""
+        commands = [
+            MRSCommand(signal=signal, value=value, register_set=register_set)
+            for signal, value in schedule.to_register_values().items()
+        ]
+        for command in commands:
+            self.apply_mrs(command)
+        return commands
+
+    def read_schedule(self, register_set: int = 0) -> SignalSchedule:
+        """Decode the currently programmed schedule from a register set."""
+        if register_set >= self.register_sets:
+            raise IndexError(
+                f"register set {register_set} does not exist "
+                f"(chip has {self.register_sets})"
+            )
+        values = {
+            signal: register.read()
+            for signal, register in self._registers[register_set].items()
+        }
+        return SignalSchedule.from_register_values(values)
+
+    def raw_values(self, register_set: int = 0) -> dict[str, int]:
+        """Raw 10-bit payloads of one register set (diagnostics/tests)."""
+        return {
+            signal: register.read()
+            for signal, register in self._registers[register_set].items()
+        }

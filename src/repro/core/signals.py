@@ -1,0 +1,188 @@
+"""Internal DRAM control signals and CODIC signal schedules.
+
+CODIC controls four internal signals (Section 2 of the paper):
+
+* ``wl``       -- the wordline, connecting the cell capacitor to the bitline;
+* ``EQ``       -- the equalization/precharge signal, driving the bitline pair
+                  to Vdd/2;
+* ``sense_p``  -- enable of the PMOS half of the sense amplifier;
+* ``sense_n``  -- enable of the NMOS half of the sense amplifier.
+
+A *signal schedule* specifies, for each signal, whether it is pulsed during
+the command and, if so, at which nanosecond it asserts and de-asserts.  CODIC
+allows assertion/de-assertion at integer nanoseconds within a 25 ns window
+(time steps ``0 .. 24``), which is exactly the encoding stored in the CODIC
+mode registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.circuit.waveform import ControlWaveforms
+
+#: The four internal signals controllable by CODIC, in canonical order.
+CONTROL_SIGNALS: tuple[str, ...] = ("wl", "EQ", "sense_p", "sense_n")
+
+#: Length of the CODIC control window in nanoseconds.
+SIGNAL_WINDOW_NS: float = 25.0
+
+#: Granularity of signal control in nanoseconds.
+SIGNAL_STEP_NS: float = 1.0
+
+
+@dataclass(frozen=True)
+class SignalPulse:
+    """One assert/de-assert pulse of an internal signal.
+
+    ``start_ns`` and ``end_ns`` must be integer multiples of
+    :data:`SIGNAL_STEP_NS` inside the CODIC window, with ``start < end``.
+    """
+
+    start_ns: int
+    end_ns: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start_ns, int) or not isinstance(self.end_ns, int):
+            raise TypeError("pulse times must be integers (nanoseconds)")
+        if not 0 <= self.start_ns < self.end_ns <= SIGNAL_WINDOW_NS - 1:
+            raise ValueError(
+                f"pulse ({self.start_ns}, {self.end_ns}) outside the valid range "
+                f"0 <= start < end <= {int(SIGNAL_WINDOW_NS) - 1}"
+            )
+
+    @property
+    def duration_ns(self) -> int:
+        """Pulse width in nanoseconds."""
+        return self.end_ns - self.start_ns
+
+    def as_tuple(self) -> tuple[float, float]:
+        """(start, end) as floats, for waveform construction."""
+        return (float(self.start_ns), float(self.end_ns))
+
+
+@dataclass(frozen=True)
+class SignalSchedule:
+    """Full CODIC signal schedule: an optional pulse per control signal.
+
+    Signals not present in ``pulses`` remain de-asserted for the whole
+    command, matching the paper's Table 1 notation (a command only lists the
+    signals it toggles).
+    """
+
+    pulses: Mapping[str, SignalPulse]
+
+    def __post_init__(self) -> None:
+        for signal in self.pulses:
+            if signal not in CONTROL_SIGNALS:
+                raise ValueError(
+                    f"unknown control signal {signal!r}; "
+                    f"valid signals are {CONTROL_SIGNALS}"
+                )
+
+    @classmethod
+    def from_timings(
+        cls, timings: Mapping[str, tuple[int, int] | None]
+    ) -> "SignalSchedule":
+        """Build a schedule from ``signal -> (start_ns, end_ns)`` pairs."""
+        pulses = {
+            signal: SignalPulse(start_ns=start_end[0], end_ns=start_end[1])
+            for signal, start_end in timings.items()
+            if start_end is not None
+        }
+        return cls(pulses=pulses)
+
+    def pulse(self, signal: str) -> SignalPulse | None:
+        """Pulse of ``signal``, or ``None`` when the signal is not driven."""
+        if signal not in CONTROL_SIGNALS:
+            raise KeyError(f"unknown control signal {signal!r}")
+        return self.pulses.get(signal)
+
+    def driven_signals(self) -> tuple[str, ...]:
+        """Signals that are pulsed by this schedule, in canonical order."""
+        return tuple(s for s in CONTROL_SIGNALS if s in self.pulses)
+
+    def assert_order(self) -> tuple[str, ...]:
+        """Driven signals sorted by assertion time (ties in canonical order)."""
+        return tuple(
+            sorted(
+                self.driven_signals(),
+                key=lambda s: (self.pulses[s].start_ns, CONTROL_SIGNALS.index(s)),
+            )
+        )
+
+    def last_deassert_ns(self) -> int:
+        """Latest de-assertion time across all driven signals (0 when none)."""
+        if not self.pulses:
+            return 0
+        return max(pulse.end_ns for pulse in self.pulses.values())
+
+    def first_assert_ns(self) -> int | None:
+        """Earliest assertion time, or ``None`` when no signal is driven."""
+        if not self.pulses:
+            return None
+        return min(pulse.start_ns for pulse in self.pulses.values())
+
+    def to_waveforms(self) -> ControlWaveforms:
+        """Convert to the circuit simulator's drive-waveform representation."""
+        return ControlWaveforms.from_pulses(
+            {
+                signal: (self.pulses[signal].as_tuple() if signal in self.pulses else None)
+                for signal in CONTROL_SIGNALS
+            },
+            window_ns=SIGNAL_WINDOW_NS,
+        )
+
+    def to_register_values(self) -> dict[str, int]:
+        """Encode the schedule as the 4 mode-register payloads.
+
+        Each register holds a 10-bit value: 5 bits of start time and 5 bits of
+        end time.  A register value of 0 means "signal not driven" (start and
+        end both zero is not a valid pulse, so the encoding is unambiguous).
+        """
+        values: dict[str, int] = {}
+        for signal in CONTROL_SIGNALS:
+            pulse = self.pulses.get(signal)
+            if pulse is None:
+                values[signal] = 0
+            else:
+                values[signal] = (pulse.start_ns << 5) | pulse.end_ns
+        return values
+
+    @classmethod
+    def from_register_values(cls, values: Mapping[str, int]) -> "SignalSchedule":
+        """Decode a schedule from mode-register payloads (inverse of encode)."""
+        timings: dict[str, tuple[int, int] | None] = {}
+        for signal in CONTROL_SIGNALS:
+            raw = values.get(signal, 0)
+            if raw == 0:
+                timings[signal] = None
+                continue
+            start = (raw >> 5) & 0x1F
+            end = raw & 0x1F
+            timings[signal] = (start, end)
+        return cls.from_timings(timings)
+
+    def describe(self) -> str:
+        """Human-readable one-line description, Table-1 style."""
+        if not self.pulses:
+            return "(no signals driven)"
+        parts = [
+            f"{signal} [{self.pulses[signal].start_ns}↑,{self.pulses[signal].end_ns}↓]"
+            for signal in self.driven_signals()
+        ]
+        return " ".join(parts)
+
+
+def iter_valid_pulses() -> Iterator[SignalPulse]:
+    """Iterate over every valid single-signal pulse (300 per signal).
+
+    The paper counts n = sum_{i=1}^{w-1} i = 300 valid pulses for a window of
+    w = 25 steps: a pulse can start at step s and end at any later step within
+    the window.
+    """
+    window = int(SIGNAL_WINDOW_NS)
+    for start in range(0, window - 1):
+        for end in range(start + 1, window):
+            yield SignalPulse(start_ns=start, end_ns=end)

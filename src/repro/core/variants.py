@@ -1,0 +1,349 @@
+"""CODIC command variants and design-space enumeration.
+
+A *variant* is a named signal schedule with a functional interpretation.  The
+paper's Table 1 defines the two standard commands (activation, precharge) and
+the two headline CODIC variants (CODIC-sig and CODIC-det); Section 4.1.1 adds
+CODIC-sig-opt and Appendix C adds CODIC-sigsa.  Table 2 reports the latency
+and energy of five of them.
+
+The module also implements the paper's design-space arithmetic: with a 25 ns
+window and 1 ns steps there are 300 valid pulses per signal and 300^4 possible
+variants, and provides a classifier that maps an arbitrary schedule to the
+functional behaviour it produces (used for design-space exploration and for
+the substrate's safety checks).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.signals import (
+    CONTROL_SIGNALS,
+    SIGNAL_WINDOW_NS,
+    SignalPulse,
+    SignalSchedule,
+    iter_valid_pulses,
+)
+
+#: Latency (ns) of a command that performs a full activate-style operation
+#: (charge sharing + amplification + restore), matching tRAS of DDR3-1600.
+FULL_OPERATION_LATENCY_NS = 35.0
+
+#: Latency (ns) of a command that only needs the precharge-style short window,
+#: matching tRP of DDR3-1600.
+SHORT_OPERATION_LATENCY_NS = 13.0
+
+#: Schedules whose last internal signal de-asserts at or before this time can
+#: complete within the short (precharge-class) command latency.
+SHORT_OPERATION_THRESHOLD_NS = 13.0
+
+
+class VariantFunction(enum.Enum):
+    """Functional classes a CODIC signal schedule can fall into."""
+
+    #: Regular activation semantics: read + restore of the addressed row.
+    ACTIVATE = "activate"
+    #: Regular precharge semantics: bitlines equalized, cells untouched.
+    PRECHARGE = "precharge"
+    #: Drives the cells of the row to Vdd/2; a subsequent activation resolves
+    #: each cell by process variation (signature generation).
+    SIGNATURE = "signature"
+    #: Signature generation purely in the sense amplifier, without opening the
+    #: cells first (Appendix C: CODIC-sigsa).
+    SIGNATURE_SA = "signature_sa"
+    #: Deterministically writes 0 into the row.
+    DETERMINISTIC_ZERO = "deterministic_zero"
+    #: Deterministically writes 1 into the row.
+    DETERMINISTIC_ONE = "deterministic_one"
+    #: The schedule drives no signal at all (a no-op).
+    NOOP = "noop"
+    #: Anything else: a potentially destructive or unclassified combination.
+    OTHER = "other"
+
+    @property
+    def destroys_row_contents(self) -> bool:
+        """Whether executing this function overwrites the row's stored data."""
+        return self in {
+            VariantFunction.SIGNATURE,
+            VariantFunction.DETERMINISTIC_ZERO,
+            VariantFunction.DETERMINISTIC_ONE,
+            VariantFunction.OTHER,
+        }
+
+
+@dataclass(frozen=True)
+class CODICVariant:
+    """A named CODIC command variant."""
+
+    name: str
+    description: str
+    schedule: SignalSchedule
+    function: VariantFunction
+    #: True when this variant needs a follow-up activation to produce readable
+    #: values (CODIC-sig leaves cells at Vdd/2; the next ACT resolves them).
+    requires_follow_up_activation: bool = False
+
+    @property
+    def latency_ns(self) -> float:
+        """Command latency of this variant (Table 2 model)."""
+        return estimate_latency_ns(self.schedule)
+
+    def describe(self) -> str:
+        """One-line Table-1-style description."""
+        return f"{self.name}: {self.schedule.describe()}"
+
+
+def estimate_latency_ns(schedule: SignalSchedule) -> float:
+    """Latency model for a CODIC command (calibrated to the paper's Table 2).
+
+    Commands whose internal signals all settle within the precharge-class
+    window complete in ``tRP``-like time (13 ns); commands that keep signals
+    asserted through the restore phase occupy the bank for a full
+    ``tRAS``-like time (35 ns).  This reproduces Table 2: CODIC-activate,
+    CODIC-sig and CODIC-det take 35 ns while CODIC-precharge and
+    CODIC-sig-opt take 13 ns.
+    """
+    last = schedule.last_deassert_ns()
+    if last == 0:
+        return 0.0
+    if last <= SHORT_OPERATION_THRESHOLD_NS:
+        return SHORT_OPERATION_LATENCY_NS
+    return FULL_OPERATION_LATENCY_NS
+
+
+def classify_schedule(schedule: SignalSchedule) -> VariantFunction:
+    """Classify an arbitrary signal schedule by the operation it performs.
+
+    The classification follows the circuit reasoning of Section 4.1: the
+    functionality is determined by *which* signals are driven and by the
+    *relative order* in which they assert.
+    """
+    driven = set(schedule.driven_signals())
+    if not driven:
+        return VariantFunction.NOOP
+
+    wl = schedule.pulse("wl")
+    eq = schedule.pulse("EQ")
+    sense_p = schedule.pulse("sense_p")
+    sense_n = schedule.pulse("sense_n")
+
+    # Pure precharge: only the equalization devices are exercised.
+    if driven == {"EQ"}:
+        return VariantFunction.PRECHARGE
+
+    # Signature in the cells: the wordline opens the cells and the precharge
+    # logic drives them to Vdd/2 (EQ asserted while wl is up, no sensing).
+    if wl is not None and eq is not None and sense_p is None and sense_n is None:
+        if eq.start_ns >= wl.start_ns:
+            return VariantFunction.SIGNATURE
+        return VariantFunction.OTHER
+
+    # Signature in the sense amplifier only: both SA halves fire on a
+    # precharged bitline; the wordline either stays closed or opens later to
+    # optionally store the value (Appendix C).
+    if sense_p is not None and sense_n is not None and eq is None:
+        simultaneous = sense_p.start_ns == sense_n.start_ns
+        if wl is None and simultaneous:
+            return VariantFunction.SIGNATURE_SA
+        if wl is not None and simultaneous and wl.start_ns > sense_p.start_ns:
+            return VariantFunction.SIGNATURE_SA
+        if wl is not None and simultaneous and wl.start_ns <= sense_p.start_ns:
+            # Charge sharing happens first: this is a regular activation.
+            return VariantFunction.ACTIVATE
+        # The two SA halves fire at different times: deterministic value
+        # generation (NMOS first -> 0, PMOS first -> 1).
+        if wl is not None:
+            if sense_n.start_ns < sense_p.start_ns:
+                return VariantFunction.DETERMINISTIC_ZERO
+            return VariantFunction.DETERMINISTIC_ONE
+        return VariantFunction.OTHER
+
+    return VariantFunction.OTHER
+
+
+def standard_variants() -> dict[str, CODICVariant]:
+    """The named variants defined by the paper (Tables 1 and 2, Appendix C)."""
+    activation = SignalSchedule.from_timings(
+        {"wl": (5, 22), "sense_p": (7, 22), "sense_n": (7, 22)}
+    )
+    precharge = SignalSchedule.from_timings({"EQ": (5, 11)})
+    codic_sig = SignalSchedule.from_timings({"wl": (5, 22), "EQ": (7, 22)})
+    codic_sig_opt = SignalSchedule.from_timings({"wl": (5, 11), "EQ": (7, 11)})
+    codic_det_zero = SignalSchedule.from_timings(
+        {"wl": (5, 22), "sense_p": (14, 22), "sense_n": (7, 22)}
+    )
+    codic_det_one = SignalSchedule.from_timings(
+        {"wl": (5, 22), "sense_p": (7, 22), "sense_n": (14, 22)}
+    )
+    codic_sigsa = SignalSchedule.from_timings(
+        {"wl": (5, 22), "sense_p": (3, 22), "sense_n": (3, 22)}
+    )
+
+    variants = [
+        CODICVariant(
+            name="CODIC-activate",
+            description="Mimics the regular DDRx activation command.",
+            schedule=activation,
+            function=VariantFunction.ACTIVATE,
+        ),
+        CODICVariant(
+            name="CODIC-precharge",
+            description="Mimics the regular DDRx precharge command.",
+            schedule=precharge,
+            function=VariantFunction.PRECHARGE,
+        ),
+        CODICVariant(
+            name="CODIC-sig",
+            description=(
+                "Drives the row's cells to Vdd/2 so that a subsequent "
+                "activation resolves each cell by process variation "
+                "(signature / PUF generation)."
+            ),
+            schedule=codic_sig,
+            function=VariantFunction.SIGNATURE,
+            requires_follow_up_activation=True,
+        ),
+        CODICVariant(
+            name="CODIC-sig-opt",
+            description=(
+                "Latency-optimized CODIC-sig: the cell reaches Vdd/2 almost "
+                "immediately after EQ asserts, so wl and EQ can terminate "
+                "early (Section 4.1.1)."
+            ),
+            schedule=codic_sig_opt,
+            function=VariantFunction.SIGNATURE,
+            requires_follow_up_activation=True,
+        ),
+        CODICVariant(
+            name="CODIC-det",
+            description=(
+                "Generates a deterministic 0 by asserting sense_n before "
+                "sense_p (Section 4.1.2)."
+            ),
+            schedule=codic_det_zero,
+            function=VariantFunction.DETERMINISTIC_ZERO,
+        ),
+        CODICVariant(
+            name="CODIC-det-one",
+            description=(
+                "Generates a deterministic 1 by asserting sense_p before "
+                "sense_n (Section 4.1.2)."
+            ),
+            schedule=codic_det_one,
+            function=VariantFunction.DETERMINISTIC_ONE,
+        ),
+        CODICVariant(
+            name="CODIC-sigsa",
+            description=(
+                "Generates a signature purely from sense-amplifier process "
+                "variation by enabling both SA halves on a precharged bitline "
+                "before raising the wordline (Appendix C)."
+            ),
+            schedule=codic_sigsa,
+            function=VariantFunction.SIGNATURE_SA,
+        ),
+    ]
+    return {variant.name: variant for variant in variants}
+
+
+def count_pulses_per_signal(window_ns: float = SIGNAL_WINDOW_NS, step_ns: float = 1.0) -> int:
+    """Number of valid (start, end) pulses for one signal.
+
+    The paper's footnote 2: n = sum_{i=1}^{w-1} i = 300 for w = 25.
+    """
+    steps = int(window_ns / step_ns)
+    return sum(range(1, steps))
+
+
+def count_total_variants(window_ns: float = SIGNAL_WINDOW_NS, step_ns: float = 1.0) -> int:
+    """Total number of CODIC variants: one pulse choice per signal, 300^4."""
+    per_signal = count_pulses_per_signal(window_ns, step_ns)
+    return per_signal ** len(CONTROL_SIGNALS)
+
+
+def iter_variant_schedules(
+    signals: tuple[str, ...] = CONTROL_SIGNALS,
+    limit: int | None = None,
+) -> Iterator[SignalSchedule]:
+    """Iterate over variant schedules in the full design space.
+
+    Each driven signal independently takes any of the 300 valid pulses.  The
+    iteration order is deterministic; ``limit`` bounds the number of yielded
+    schedules (the full space has 300^len(signals) entries, far too many to
+    enumerate exhaustively for all four signals).
+    """
+    pulse_choices = list(iter_valid_pulses())
+    count = 0
+    for combination in itertools.product(pulse_choices, repeat=len(signals)):
+        yield SignalSchedule(pulses=dict(zip(signals, combination)))
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+@dataclass
+class VariantLibrary:
+    """A registry of named CODIC variants.
+
+    The library starts pre-populated with the paper's standard variants and
+    accepts user-defined ones (e.g., latency-optimized activations discovered
+    through design-space exploration).
+    """
+
+    _variants: dict[str, CODICVariant] = field(default_factory=standard_variants)
+
+    def get(self, name: str) -> CODICVariant:
+        """Look up a variant by name."""
+        try:
+            return self._variants[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown CODIC variant {name!r}; known variants: {sorted(self._variants)}"
+            ) from None
+
+    def register(self, variant: CODICVariant, replace: bool = False) -> None:
+        """Add a variant to the library."""
+        if variant.name in self._variants and not replace:
+            raise ValueError(f"variant {variant.name!r} is already registered")
+        self._variants[variant.name] = variant
+
+    def names(self) -> list[str]:
+        """All registered variant names (sorted)."""
+        return sorted(self._variants)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._variants
+
+    def __iter__(self) -> Iterator[CODICVariant]:
+        return iter(self._variants.values())
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    def by_function(self, function: VariantFunction) -> list[CODICVariant]:
+        """All variants implementing a given functional class."""
+        return [v for v in self._variants.values() if v.function is function]
+
+    def define(
+        self,
+        name: str,
+        description: str,
+        timings: dict[str, tuple[int, int] | None],
+        replace: bool = False,
+    ) -> CODICVariant:
+        """Define, classify and register a new variant from raw timings."""
+        schedule = SignalSchedule.from_timings(timings)
+        variant = CODICVariant(
+            name=name,
+            description=description,
+            schedule=schedule,
+            function=classify_schedule(schedule),
+            requires_follow_up_activation=(
+                classify_schedule(schedule) is VariantFunction.SIGNATURE
+            ),
+        )
+        self.register(variant, replace=replace)
+        return variant

@@ -1,0 +1,58 @@
+"""Secure deallocation (paper Appendix A).
+
+Secure deallocation zeroes memory at the moment it is deallocated, shrinking
+the window in which stale sensitive data can leak.  The paper compares a
+software implementation (the OS writes zeros and flushes them to DRAM)
+against three hardware mechanisms that zero whole DRAM rows in-memory:
+LISA-clone, RowClone and CODIC-det.
+
+This package provides:
+
+* :mod:`repro.dealloc.workloads`  -- synthetic trace generators for the six
+  allocation-intensive benchmarks of Table 8, the non-allocation-intensive
+  background benchmarks, and the 4-core mixes of Table 9,
+* :mod:`repro.dealloc.mechanisms` -- the four zeroing mechanisms as
+  dealloc handlers for the in-order core model,
+* :mod:`repro.dealloc.simulation` -- the single-core (Figure 8) and 4-core
+  (Figure 9) speedup / energy-savings studies.
+"""
+
+from repro.dealloc.workloads import (
+    ALLOC_INTENSIVE_BENCHMARKS,
+    BACKGROUND_BENCHMARKS,
+    PAPER_MIXES,
+    WorkloadProfile,
+    generate_trace,
+    generate_mix,
+    random_mixes,
+)
+from repro.dealloc.mechanisms import (
+    SoftwareZeroing,
+    CODICZeroing,
+    RowCloneZeroing,
+    LISACloneZeroing,
+    MECHANISM_FACTORIES,
+)
+from repro.dealloc.simulation import (
+    DeallocStudy,
+    MechanismComparison,
+    WorkloadResult,
+)
+
+__all__ = [
+    "ALLOC_INTENSIVE_BENCHMARKS",
+    "BACKGROUND_BENCHMARKS",
+    "PAPER_MIXES",
+    "WorkloadProfile",
+    "generate_trace",
+    "generate_mix",
+    "random_mixes",
+    "SoftwareZeroing",
+    "CODICZeroing",
+    "RowCloneZeroing",
+    "LISACloneZeroing",
+    "MECHANISM_FACTORIES",
+    "DeallocStudy",
+    "MechanismComparison",
+    "WorkloadResult",
+]

@@ -1,0 +1,143 @@
+"""Secure-deallocation performance and energy study (Figures 8 and 9).
+
+The study runs each workload (or 4-core mix) under every zeroing mechanism on
+the system simulator and reports speedup and DRAM energy savings normalized
+to the software-zeroing baseline, exactly as the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dealloc.mechanisms import MECHANISM_FACTORIES
+from repro.dealloc.workloads import (
+    ALLOC_INTENSIVE_BENCHMARKS,
+    PAPER_MIXES,
+    generate_mix,
+    generate_trace,
+)
+from repro.memctrl.system import System, SystemConfig
+from repro.memctrl.trace import WorkloadTrace
+
+#: Mechanisms compared in Figures 8 and 9, in plotting order.
+COMPARED_MECHANISMS: tuple[str, ...] = ("lisa", "rowclone", "codic")
+
+#: The baseline every mechanism is normalized to.
+BASELINE_MECHANISM = "software"
+
+
+@dataclass(frozen=True)
+class MechanismComparison:
+    """Speedup and energy savings of one mechanism on one workload."""
+
+    workload: str
+    mechanism: str
+    speedup: float
+    energy_savings: float
+    baseline_time_ns: float
+    mechanism_time_ns: float
+
+    @property
+    def speedup_percent(self) -> float:
+        """Speedup over software zeroing, in percent (Figure 8/9 y-axis)."""
+        return 100.0 * (self.speedup - 1.0)
+
+    @property
+    def energy_savings_percent(self) -> float:
+        """Energy savings over software zeroing, in percent."""
+        return 100.0 * self.energy_savings
+
+
+@dataclass
+class WorkloadResult:
+    """All mechanism comparisons for one workload."""
+
+    workload: str
+    comparisons: list[MechanismComparison] = field(default_factory=list)
+
+    def comparison(self, mechanism: str) -> MechanismComparison:
+        """Comparison entry of one mechanism."""
+        for entry in self.comparisons:
+            if entry.mechanism == mechanism:
+                return entry
+        raise KeyError(f"no comparison for mechanism {mechanism!r}")
+
+    def best_mechanism(self) -> str:
+        """Mechanism with the highest speedup on this workload."""
+        return max(self.comparisons, key=lambda entry: entry.speedup).mechanism
+
+
+@dataclass
+class DeallocStudy:
+    """Runs the secure-deallocation comparisons."""
+
+    instructions: int = 120_000
+    seed: int = 5
+    system_config: SystemConfig = field(default_factory=SystemConfig)
+    mechanisms: Sequence[str] = COMPARED_MECHANISMS
+
+    # ------------------------------------------------------------------
+    # Single workload / single core (Figure 8)
+    # ------------------------------------------------------------------
+    def run_workload(self, benchmark: str) -> WorkloadResult:
+        """Compare all mechanisms against software zeroing on one benchmark."""
+        trace = generate_trace(
+            ALLOC_INTENSIVE_BENCHMARKS[benchmark],
+            instructions=self.instructions,
+            seed=self.seed,
+        )
+        return self._compare([trace], label=benchmark, cores=1)
+
+    def run_figure8(self, benchmarks: Sequence[str] | None = None) -> list[WorkloadResult]:
+        """The single-core study over the Table 8 benchmarks."""
+        names = list(benchmarks) if benchmarks else sorted(ALLOC_INTENSIVE_BENCHMARKS)
+        return [self.run_workload(name) for name in names]
+
+    # ------------------------------------------------------------------
+    # 4-core mixes (Figure 9)
+    # ------------------------------------------------------------------
+    def run_mix(self, mix_name: str, benchmarks: tuple[str, str, str, str]) -> WorkloadResult:
+        """Compare all mechanisms on one 4-core mix."""
+        traces = generate_mix(
+            benchmarks, instructions_per_core=self.instructions, seed=self.seed
+        )
+        return self._compare(traces, label=mix_name, cores=4)
+
+    def run_figure9(
+        self, mixes: dict[str, tuple[str, str, str, str]] | None = None
+    ) -> list[WorkloadResult]:
+        """The 4-core study over the Table 9 mixes."""
+        selected = mixes or PAPER_MIXES
+        return [self.run_mix(name, benchmarks) for name, benchmarks in selected.items()]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _run_once(self, traces: list[WorkloadTrace], mechanism: str, cores: int):
+        from dataclasses import replace
+
+        config = replace(self.system_config, cores=cores)
+        system = System(config=config)
+        system.set_dealloc_handler(MECHANISM_FACTORIES[mechanism])
+        stats = system.run(traces)
+        return stats
+
+    def _compare(self, traces: list[WorkloadTrace], label: str, cores: int) -> WorkloadResult:
+        baseline = self._run_once(traces, BASELINE_MECHANISM, cores)
+        result = WorkloadResult(workload=label)
+        for mechanism in self.mechanisms:
+            stats = self._run_once(traces, mechanism, cores)
+            speedup = baseline.finish_time_ns / stats.finish_time_ns
+            energy_savings = 1.0 - stats.dram_energy_nj / baseline.dram_energy_nj
+            result.comparisons.append(
+                MechanismComparison(
+                    workload=label,
+                    mechanism=mechanism,
+                    speedup=speedup,
+                    energy_savings=energy_savings,
+                    baseline_time_ns=baseline.finish_time_ns,
+                    mechanism_time_ns=stats.finish_time_ns,
+                )
+            )
+        return result

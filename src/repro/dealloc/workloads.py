@@ -1,0 +1,247 @@
+"""Synthetic workload traces for the secure-deallocation study.
+
+The paper drives Ramulator with Pin/Bochs traces of six allocation-intensive
+programs (Table 8: mysql, memcached, gcc compilation, kernel boot-up, a shell
+script and a malloc stress test) and mixes them with non-allocation-intensive
+benchmarks (TPC-C/H, STREAM, SPEC2006, DynoGraph, HPCC RandomAccess) for the
+4-core study (Table 9).
+
+Since the original traces are not distributable, this module generates
+synthetic traces with the properties that drive the result: the rate of
+page deallocations relative to ordinary work, the size of deallocated
+regions, the memory intensity and the locality of ordinary accesses.  The
+profile parameters are chosen so that allocation-intensive workloads spend a
+paper-consistent share of their time in deallocation-triggered zeroing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memctrl.trace import TraceEvent, TraceEventType, WorkloadTrace
+from repro.utils.rng import make_rng
+
+#: Page size used for deallocations (Linux base pages).
+PAGE_BYTES = 4096
+
+#: Cache-line size.
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical profile of one benchmark."""
+
+    name: str
+    #: Average non-memory instructions between memory accesses.
+    compute_per_access: int = 30
+    #: Probability that a memory access is a store.
+    store_fraction: float = 0.3
+    #: Working-set size in bytes (drives cache hit rates).
+    working_set_bytes: int = 8 << 20
+    #: Deallocation events per 10,000 instructions (0 = not alloc-intensive).
+    deallocs_per_10k_instructions: float = 0.0
+    #: Average number of pages released per deallocation.
+    pages_per_dealloc: float = 4.0
+    #: Fraction of accesses that hit a small hot region (temporal locality).
+    hot_fraction: float = 0.6
+
+    @property
+    def is_alloc_intensive(self) -> bool:
+        """Whether this profile models an allocation-intensive benchmark."""
+        return self.deallocs_per_10k_instructions > 0.0
+
+
+#: The six allocation-intensive benchmarks of Table 8.  Deallocation rates
+#: are calibrated so that software zeroing accounts for a few percent up to
+#: ~20 % of the baseline execution time, reproducing the speedup range of
+#: the paper's Figure 8 (hardware mechanisms gain up to ~21 %).
+ALLOC_INTENSIVE_BENCHMARKS: dict[str, WorkloadProfile] = {
+    "mysql": WorkloadProfile(
+        name="mysql", compute_per_access=25, store_fraction=0.35,
+        working_set_bytes=24 << 20, deallocs_per_10k_instructions=0.40,
+        pages_per_dealloc=2.0,
+    ),
+    "memcached": WorkloadProfile(
+        name="memcached", compute_per_access=20, store_fraction=0.40,
+        working_set_bytes=32 << 20, deallocs_per_10k_instructions=0.50,
+        pages_per_dealloc=2.0,
+    ),
+    "compiler": WorkloadProfile(
+        name="compiler", compute_per_access=35, store_fraction=0.30,
+        working_set_bytes=16 << 20, deallocs_per_10k_instructions=0.35,
+        pages_per_dealloc=2.0,
+    ),
+    "bootup": WorkloadProfile(
+        name="bootup", compute_per_access=30, store_fraction=0.35,
+        working_set_bytes=48 << 20, deallocs_per_10k_instructions=0.25,
+        pages_per_dealloc=3.0,
+    ),
+    "shell": WorkloadProfile(
+        name="shell", compute_per_access=40, store_fraction=0.25,
+        working_set_bytes=8 << 20, deallocs_per_10k_instructions=0.25,
+        pages_per_dealloc=2.0,
+    ),
+    "malloc": WorkloadProfile(
+        name="malloc", compute_per_access=15, store_fraction=0.45,
+        working_set_bytes=64 << 20, deallocs_per_10k_instructions=0.65,
+        pages_per_dealloc=3.0,
+    ),
+}
+
+#: Non-allocation-intensive background benchmarks used in the 4-core mixes.
+BACKGROUND_BENCHMARKS: dict[str, WorkloadProfile] = {
+    "tpcc64": WorkloadProfile(name="tpcc64", compute_per_access=25,
+                              working_set_bytes=64 << 20, hot_fraction=0.5),
+    "tpch": WorkloadProfile(name="tpch", compute_per_access=20,
+                            working_set_bytes=64 << 20, hot_fraction=0.4),
+    "stream": WorkloadProfile(name="stream", compute_per_access=8,
+                              working_set_bytes=128 << 20, hot_fraction=0.05),
+    "libquantum": WorkloadProfile(name="libquantum", compute_per_access=12,
+                                  working_set_bytes=32 << 20, hot_fraction=0.2),
+    "xalancbmk": WorkloadProfile(name="xalancbmk", compute_per_access=30,
+                                 working_set_bytes=16 << 20, hot_fraction=0.7),
+    "bzip2": WorkloadProfile(name="bzip2", compute_per_access=35,
+                             working_set_bytes=8 << 20, hot_fraction=0.8),
+    "lbm": WorkloadProfile(name="lbm", compute_per_access=10,
+                           working_set_bytes=64 << 20, hot_fraction=0.1),
+    "astar": WorkloadProfile(name="astar", compute_per_access=40,
+                             working_set_bytes=16 << 20, hot_fraction=0.7),
+    "condmat": WorkloadProfile(name="condmat", compute_per_access=28,
+                               working_set_bytes=24 << 20, hot_fraction=0.5),
+    "pagerank": WorkloadProfile(name="pagerank", compute_per_access=15,
+                                working_set_bytes=96 << 20, hot_fraction=0.2),
+    "bfs": WorkloadProfile(name="bfs", compute_per_access=18,
+                           working_set_bytes=64 << 20, hot_fraction=0.25),
+    "randomaccess": WorkloadProfile(name="randomaccess", compute_per_access=10,
+                                    working_set_bytes=256 << 20, hot_fraction=0.0),
+}
+
+#: The five representative 4-core mixes of Table 9.
+PAPER_MIXES: dict[str, tuple[str, str, str, str]] = {
+    "MIX1": ("malloc", "bootup", "tpcc64", "libquantum"),
+    "MIX2": ("shell", "bootup", "lbm", "xalancbmk"),
+    "MIX3": ("bootup", "shell", "pagerank", "pagerank"),
+    "MIX4": ("malloc", "shell", "xalancbmk", "bzip2"),
+    "MIX5": ("malloc", "malloc", "astar", "condmat"),
+}
+
+
+def lookup_profile(name: str) -> WorkloadProfile:
+    """Find a benchmark profile by name (allocation-intensive or background)."""
+    if name in ALLOC_INTENSIVE_BENCHMARKS:
+        return ALLOC_INTENSIVE_BENCHMARKS[name]
+    if name in BACKGROUND_BENCHMARKS:
+        return BACKGROUND_BENCHMARKS[name]
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+def generate_trace(
+    profile: WorkloadProfile | str,
+    instructions: int = 200_000,
+    seed: int = 0,
+    address_offset: int = 0,
+) -> WorkloadTrace:
+    """Generate one synthetic trace following a benchmark profile.
+
+    ``address_offset`` places the workload's address space; multi-programmed
+    mixes give each core a disjoint offset so they do not share data.
+    """
+    if isinstance(profile, str):
+        profile = lookup_profile(profile)
+    rng = make_rng(seed, "trace", profile.name, address_offset)
+    trace = WorkloadTrace(name=profile.name)
+
+    hot_bytes = max(LINE_BYTES * 64, profile.working_set_bytes // 16)
+    executed = 0
+    dealloc_interval = (
+        int(10_000 / profile.deallocs_per_10k_instructions)
+        if profile.is_alloc_intensive
+        else None
+    )
+    next_dealloc = dealloc_interval if dealloc_interval else None
+    # Deallocations walk through the working set sequentially, page by page,
+    # the way an allocator returns regions to the OS.
+    dealloc_cursor = 0
+
+    while executed < instructions:
+        compute = max(1, int(rng.poisson(profile.compute_per_access)))
+        trace.append(TraceEvent(TraceEventType.COMPUTE, count=compute))
+        executed += compute
+
+        in_hot_region = rng.random() < profile.hot_fraction
+        region = hot_bytes if in_hot_region else profile.working_set_bytes
+        address = address_offset + int(rng.integers(0, max(region // LINE_BYTES, 1))) * LINE_BYTES
+        is_store = rng.random() < profile.store_fraction
+        trace.append(
+            TraceEvent(
+                TraceEventType.STORE if is_store else TraceEventType.LOAD,
+                address=address,
+            )
+        )
+        executed += 1
+
+        if next_dealloc is not None and executed >= next_dealloc:
+            pages = max(1, int(rng.poisson(profile.pages_per_dealloc)))
+            # The OS returns buddy-allocator blocks, so freed regions are
+            # naturally aligned contiguous page runs; align them to DRAM row
+            # boundaries (2 pages), which is also what lets the row-granular
+            # mechanisms zero them without touching neighbouring data.
+            start = address_offset + (dealloc_cursor % profile.working_set_bytes)
+            start = (start // (2 * PAGE_BYTES)) * (2 * PAGE_BYTES)
+            pages = max(2, pages + (pages % 2))
+            trace.append(
+                TraceEvent(
+                    TraceEventType.DEALLOC,
+                    address=start,
+                    size_bytes=pages * PAGE_BYTES,
+                )
+            )
+            dealloc_cursor += pages * PAGE_BYTES
+            executed += 1
+            next_dealloc += dealloc_interval
+
+    return trace
+
+
+def generate_mix(
+    benchmarks: tuple[str, str, str, str],
+    instructions_per_core: int = 100_000,
+    seed: int = 0,
+    address_stride: int = 256 << 20,
+) -> list[WorkloadTrace]:
+    """Generate the four per-core traces of one 4-core mix."""
+    traces = []
+    for core, name in enumerate(benchmarks):
+        traces.append(
+            generate_trace(
+                lookup_profile(name),
+                instructions=instructions_per_core,
+                seed=seed + core,
+                address_offset=core * address_stride,
+            )
+        )
+    return traces
+
+
+def random_mixes(
+    count: int = 50, seed: int = 11
+) -> dict[str, tuple[str, str, str, str]]:
+    """Random 4-core mixes in the paper's style.
+
+    Each mix combines two allocation-intensive and two non-allocation-
+    intensive benchmarks, matching the methodology of Appendix A.
+    """
+    rng = make_rng(seed, "mixes")
+    alloc_names = sorted(ALLOC_INTENSIVE_BENCHMARKS)
+    background_names = sorted(BACKGROUND_BENCHMARKS)
+    mixes: dict[str, tuple[str, str, str, str]] = {}
+    for index in range(count):
+        alloc = [alloc_names[int(i)] for i in rng.integers(0, len(alloc_names), 2)]
+        background = [
+            background_names[int(i)] for i in rng.integers(0, len(background_names), 2)
+        ]
+        mixes[f"RMIX{index + 1}"] = (alloc[0], alloc[1], background[0], background[1])
+    return mixes

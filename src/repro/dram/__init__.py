@@ -1,0 +1,49 @@
+"""DRAM device model: geometry, timings, banks, chips, modules and populations.
+
+This package is the substrate under the CODIC substrate: it models DDR3
+devices at the level of detail the paper's evaluation needs --
+
+* **geometry** of chips and modules (banks, rows, columns, data width),
+* **JEDEC timing parameters** (DDR3-1600 11-11-11 presets, density-dependent
+  refresh timings),
+* **bank/rank state machines** enforcing the timing constraints that bound
+  the self-destruction latency (tRC, tRRD, tFAW, tRFC...),
+* **chip behaviour**: stored data, retention/leakage, per-cell process
+  variation (weak-cell maps for CODIC-sig, reduced-tRCD and reduced-tRP
+  failure maps for the baseline PUFs), and execution of CODIC schedules,
+* **modules** (ranks of chips) and the 136-chip population of Table 3/12.
+"""
+
+from repro.dram.geometry import DRAMGeometry, ModuleGeometry, STANDARD_CHIP_GEOMETRIES
+from repro.dram.timing import TimingParameters, DDR3_1600_11_11_11, timing_for_module
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.commands import CommandType, DRAMCommand
+from repro.dram.bank import Bank, BankState
+from repro.dram.rank import Rank
+from repro.dram.chip import DRAMChip, RowState, VendorProfile, VENDOR_PROFILES
+from repro.dram.module import DRAMModule
+from repro.dram.population import ChipPopulation, ModuleSpec, paper_population
+
+__all__ = [
+    "DRAMGeometry",
+    "ModuleGeometry",
+    "STANDARD_CHIP_GEOMETRIES",
+    "TimingParameters",
+    "DDR3_1600_11_11_11",
+    "timing_for_module",
+    "AddressMapper",
+    "DecodedAddress",
+    "CommandType",
+    "DRAMCommand",
+    "Bank",
+    "BankState",
+    "Rank",
+    "DRAMChip",
+    "RowState",
+    "VendorProfile",
+    "VENDOR_PROFILES",
+    "DRAMModule",
+    "ChipPopulation",
+    "ModuleSpec",
+    "paper_population",
+]

@@ -1,0 +1,158 @@
+"""DRAM chip and module geometry.
+
+Geometry describes the *organization* of a device: how many banks it has, how
+many rows per bank, how many bits per row, and how chips are ganged into a
+rank to form a module.  All capacity arithmetic in the library (module sizes
+for the Figure 7 sweep, PUF segment addressing, self-destruction row counts)
+goes through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB, MB
+
+
+@dataclass(frozen=True)
+class DRAMGeometry:
+    """Organization of a single DRAM chip."""
+
+    #: Number of banks in the chip (DDR3: 8).
+    banks: int = 8
+    #: Number of rows per bank.
+    rows_per_bank: int = 65536
+    #: Number of column bits per row *per chip* (row buffer size in bits).
+    row_bits: int = 8192
+    #: External data width of the chip in bits (x4/x8/x16).
+    device_width: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("banks", "rows_per_bank", "row_bits", "device_width"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total chip capacity in bits."""
+        return self.banks * self.rows_per_bank * self.row_bits
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total chip capacity in bytes."""
+        return self.capacity_bits // 8
+
+    @property
+    def row_bytes(self) -> int:
+        """Row buffer size in bytes (per chip)."""
+        return self.row_bits // 8
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of rows across all banks."""
+        return self.banks * self.rows_per_bank
+
+    def scaled_to_capacity(self, capacity_bytes: int) -> "DRAMGeometry":
+        """Return a geometry with the same shape but scaled row count.
+
+        Used to build the hypothetical module sizes of the Figure 7 sweep:
+        the row size, bank count and device width stay fixed while the number
+        of rows per bank scales with capacity.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        rows_total = (capacity_bytes * 8) // (self.row_bits * self.banks)
+        if rows_total == 0:
+            raise ValueError(
+                f"capacity {capacity_bytes} bytes is smaller than one row per bank"
+            )
+        return DRAMGeometry(
+            banks=self.banks,
+            rows_per_bank=rows_total,
+            row_bits=self.row_bits,
+            device_width=self.device_width,
+        )
+
+
+@dataclass(frozen=True)
+class ModuleGeometry:
+    """Organization of a DRAM module (one or more ranks of chips)."""
+
+    chip: DRAMGeometry
+    chips_per_rank: int = 8
+    ranks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.chips_per_rank <= 0 or self.ranks <= 0:
+            raise ValueError("chips_per_rank and ranks must be positive")
+
+    @property
+    def data_width_bits(self) -> int:
+        """Module data bus width (chips_per_rank x device width)."""
+        return self.chips_per_rank * self.chip.device_width
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total module capacity in bytes."""
+        return self.chip.capacity_bytes * self.chips_per_rank * self.ranks
+
+    @property
+    def row_bytes(self) -> int:
+        """Module-level row size (one row across all chips of a rank)."""
+        return self.chip.row_bytes * self.chips_per_rank
+
+    @property
+    def rows_per_rank(self) -> int:
+        """Number of module-level rows in one rank (banks x rows_per_bank)."""
+        return self.chip.total_rows
+
+    @property
+    def total_rows(self) -> int:
+        """Number of module-level rows across all ranks."""
+        return self.rows_per_rank * self.ranks
+
+    @property
+    def banks(self) -> int:
+        """Banks per rank."""
+        return self.chip.banks
+
+    @classmethod
+    def for_capacity(
+        cls,
+        capacity_bytes: int,
+        chips_per_rank: int = 8,
+        ranks: int = 1,
+        row_bits_per_chip: int = 8192,
+        banks: int = 8,
+        device_width: int = 8,
+    ) -> "ModuleGeometry":
+        """Build a module geometry for a target capacity (Figure 7 sweep)."""
+        per_chip_capacity = capacity_bytes // (chips_per_rank * ranks)
+        chip = DRAMGeometry(
+            banks=banks,
+            rows_per_bank=1,
+            row_bits=row_bits_per_chip,
+            device_width=device_width,
+        ).scaled_to_capacity(per_chip_capacity)
+        return cls(chip=chip, chips_per_rank=chips_per_rank, ranks=ranks)
+
+
+#: Chip geometries used by the paper's evaluated modules (Table 3 / Table 12).
+STANDARD_CHIP_GEOMETRIES: dict[str, DRAMGeometry] = {
+    # 2 Gb x8: 8 banks x 32768 rows x 8 Kib rows.
+    "2Gb_x8": DRAMGeometry(banks=8, rows_per_bank=32768, row_bits=8192, device_width=8),
+    # 4 Gb x8: 8 banks x 65536 rows x 8 Kib rows.
+    "4Gb_x8": DRAMGeometry(banks=8, rows_per_bank=65536, row_bits=8192, device_width=8),
+    # 8 Gb x8: 8 banks x 131072 rows x 8 Kib rows.
+    "8Gb_x8": DRAMGeometry(banks=8, rows_per_bank=131072, row_bits=8192, device_width=8),
+}
+
+#: Module capacities swept in Figure 7.
+FIGURE7_MODULE_CAPACITIES: tuple[int, ...] = (
+    64 * MB,
+    256 * MB,
+    1 * GB,
+    4 * GB,
+    16 * GB,
+    64 * GB,
+)

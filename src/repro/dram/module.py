@@ -1,0 +1,222 @@
+"""DRAM module (DIMM): a rank of chips operated in lockstep.
+
+A module-level row is the concatenation of the per-chip rows of every chip in
+the rank.  The PUF evaluation operates on 8 KB *memory segments*, which for
+the x8, 8-chip modules of the paper correspond exactly to one module row, so
+the module exposes segment-granular signature / failure reads that aggregate
+the per-chip responses with the appropriate bit offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.signals import SignalSchedule
+from repro.core.variants import VariantFunction
+from repro.dram.chip import DRAMChip, VendorProfile, VENDOR_PROFILES
+from repro.dram.geometry import DRAMGeometry, ModuleGeometry, STANDARD_CHIP_GEOMETRIES
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class SegmentAddress:
+    """Address of one PUF memory segment (= one module row)."""
+
+    bank: int
+    row: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        """(bank, row) tuple, convenient for dictionary keys."""
+        return (self.bank, self.row)
+
+
+@dataclass
+class DRAMModule:
+    """A module: ``chips_per_rank`` chips sharing command/address signals."""
+
+    module_id: str
+    chip_geometry: DRAMGeometry = field(
+        default_factory=lambda: STANDARD_CHIP_GEOMETRIES["4Gb_x8"]
+    )
+    chips_per_rank: int = 8
+    ranks: int = 1
+    vendor: VendorProfile = field(default_factory=lambda: VENDOR_PROFILES["A"])
+    voltage: float = 1.35
+    data_rate_mt_s: int = 1600
+    seed: int = 0
+    chips: list[DRAMChip] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.chips = [
+            DRAMChip(
+                chip_id=f"{self.module_id}.chip{i}",
+                geometry=self.chip_geometry,
+                vendor=self.vendor,
+                voltage=self.voltage,
+                seed=derive_seed(self.seed, "module", self.module_id, "chip", i),
+            )
+            for i in range(self.chips_per_rank * self.ranks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def geometry(self) -> ModuleGeometry:
+        """Module-level geometry."""
+        return ModuleGeometry(
+            chip=self.chip_geometry,
+            chips_per_rank=self.chips_per_rank,
+            ranks=self.ranks,
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total module capacity."""
+        return self.geometry.capacity_bytes
+
+    @property
+    def segment_bits(self) -> int:
+        """Size of one PUF segment (one module row) in bits."""
+        return self.chip_geometry.row_bits * self.chips_per_rank
+
+    @property
+    def segment_bytes(self) -> int:
+        """Size of one PUF segment in bytes (8 KB for the paper's modules)."""
+        return self.segment_bits // 8
+
+    def rank_chips(self, rank: int = 0) -> list[DRAMChip]:
+        """Chips belonging to one rank."""
+        if not 0 <= rank < self.ranks:
+            raise ValueError(f"rank {rank} out of range (module has {self.ranks})")
+        start = rank * self.chips_per_rank
+        return self.chips[start : start + self.chips_per_rank]
+
+    def random_segment(self, rng: np.random.Generator) -> SegmentAddress:
+        """Draw a uniformly random segment address."""
+        bank = int(rng.integers(0, self.chip_geometry.banks))
+        row = int(rng.integers(0, self.chip_geometry.rows_per_bank))
+        return SegmentAddress(bank=bank, row=row)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def write_segment(self, segment: SegmentAddress, bits: np.ndarray, rank: int = 0) -> None:
+        """Write one module row across all chips of a rank."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.segment_bits,):
+            raise ValueError(
+                f"segment data must have {self.segment_bits} bits, got {bits.shape}"
+            )
+        per_chip = self.chip_geometry.row_bits
+        for index, chip in enumerate(self.rank_chips(rank)):
+            chip.write_row(
+                segment.bank, segment.row, bits[index * per_chip : (index + 1) * per_chip]
+            )
+
+    def read_segment(
+        self, segment: SegmentAddress, temperature_c: float = 30.0, rank: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Read one module row across all chips of a rank."""
+        parts = [
+            chip.read_row(segment.bank, segment.row, temperature_c, rng)
+            for chip in self.rank_chips(rank)
+        ]
+        return np.concatenate(parts)
+
+    def execute_codic(
+        self,
+        schedule: SignalSchedule,
+        segment: SegmentAddress,
+        temperature_c: float | None = None,
+        rank: int = 0,
+    ) -> VariantFunction:
+        """Broadcast a CODIC schedule to every chip of a rank (one module row)."""
+        function = VariantFunction.NOOP
+        for chip in self.rank_chips(rank):
+            function = chip.execute_codic(
+                schedule, segment.bank, segment.row, temperature_c
+            )
+        return function
+
+    # ------------------------------------------------------------------
+    # Aggregated PUF primitives
+    # ------------------------------------------------------------------
+    def _aggregate(self, per_chip_positions: list[np.ndarray]) -> frozenset[int]:
+        per_chip_bits = self.chip_geometry.row_bits
+        positions: list[int] = []
+        for index, chip_positions in enumerate(per_chip_positions):
+            offset = index * per_chip_bits
+            positions.extend(int(p) + offset for p in chip_positions)
+        return frozenset(positions)
+
+    def sig_response(
+        self,
+        segment: SegmentAddress,
+        temperature_c: float = 30.0,
+        rng: np.random.Generator | None = None,
+        rank: int = 0,
+    ) -> frozenset[int]:
+        """CODIC-sig PUF response of one segment: set of '1' bit positions."""
+        return self._aggregate(
+            [
+                chip.sig_response(segment.bank, segment.row, temperature_c, rng)
+                for chip in self.rank_chips(rank)
+            ]
+        )
+
+    def rcd_response(
+        self,
+        segment: SegmentAddress,
+        trcd_ns: float,
+        temperature_c: float = 30.0,
+        rng: np.random.Generator | None = None,
+        rank: int = 0,
+    ) -> frozenset[int]:
+        """DRAM Latency PUF raw response (one reduced-tRCD read)."""
+        return self._aggregate(
+            [
+                chip.rcd_response(segment.bank, segment.row, trcd_ns, temperature_c, rng)
+                for chip in self.rank_chips(rank)
+            ]
+        )
+
+    def rcd_filtered_response(
+        self,
+        segment: SegmentAddress,
+        trcd_ns: float,
+        reads: int,
+        threshold: int,
+        temperature_c: float = 30.0,
+        rng: np.random.Generator | None = None,
+        rank: int = 0,
+    ) -> frozenset[int]:
+        """DRAM Latency PUF filtered response (``reads`` reads, keep > threshold)."""
+        return self._aggregate(
+            [
+                chip.rcd_filtered_response(
+                    segment.bank, segment.row, trcd_ns, reads, threshold,
+                    temperature_c, rng,
+                )
+                for chip in self.rank_chips(rank)
+            ]
+        )
+
+    def rp_response(
+        self,
+        segment: SegmentAddress,
+        trp_ns: float,
+        temperature_c: float = 30.0,
+        rng: np.random.Generator | None = None,
+        rank: int = 0,
+    ) -> frozenset[int]:
+        """PreLatPUF raw response (one reduced-tRP access)."""
+        return self._aggregate(
+            [
+                chip.rp_response(segment.bank, segment.row, trp_ns, temperature_c, rng)
+                for chip in self.rank_chips(rank)
+            ]
+        )

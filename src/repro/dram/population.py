@@ -1,0 +1,135 @@
+"""The evaluated chip population (paper Tables 3 and 12).
+
+The paper characterizes 136 DDR3/DDR3L chips from 15 modules spanning three
+vendors, two densities and two supply voltages.  This module reconstructs
+that population as simulated :class:`~repro.dram.module.DRAMModule` instances
+so that the PUF experiments (Figures 5 and 6, Table 4, the NIST analysis)
+operate on the same module mix as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.chip import VENDOR_PROFILES
+from repro.dram.geometry import STANDARD_CHIP_GEOMETRIES
+from repro.dram.module import DRAMModule
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Specification of one module of the evaluated population (Table 12)."""
+
+    module_id: str
+    vendor: str
+    chips: int
+    ranks: int
+    chip_density_gbit: int
+    data_rate_mt_s: int
+    voltage: float
+
+    @property
+    def is_ddr3l(self) -> bool:
+        """True for the low-voltage (1.35 V) DDR3L modules."""
+        return self.voltage <= 1.40
+
+    @property
+    def chips_per_rank(self) -> int:
+        """Chips per rank (Table 12 modules are x8, so 8 chips per rank)."""
+        return self.chips // self.ranks
+
+    def chip_geometry_key(self) -> str:
+        """Key into :data:`STANDARD_CHIP_GEOMETRIES` for this chip density."""
+        return f"{self.chip_density_gbit}Gb_x8"
+
+
+#: The 15 modules of Table 12 (136 chips in total).
+PAPER_MODULE_SPECS: tuple[ModuleSpec, ...] = (
+    ModuleSpec("M1", "A", 8, 1, 4, 1600, 1.35),
+    ModuleSpec("M2", "A", 8, 1, 4, 1600, 1.35),
+    ModuleSpec("M3", "A", 8, 1, 4, 1600, 1.35),
+    ModuleSpec("M4", "A", 8, 1, 4, 1600, 1.35),
+    ModuleSpec("M5", "A", 8, 1, 4, 1600, 1.50),
+    ModuleSpec("M6", "A", 8, 1, 4, 1600, 1.50),
+    ModuleSpec("M7", "A", 8, 1, 4, 1600, 1.50),
+    ModuleSpec("M8", "A", 8, 1, 4, 1600, 1.50),
+    ModuleSpec("M9", "B", 16, 2, 2, 1333, 1.50),
+    ModuleSpec("M10", "B", 16, 2, 2, 1333, 1.50),
+    ModuleSpec("M11", "B", 8, 1, 4, 1600, 1.35),
+    ModuleSpec("M12", "C", 8, 1, 4, 1600, 1.35),
+    ModuleSpec("M13", "C", 8, 1, 4, 1600, 1.35),
+    ModuleSpec("M14", "C", 8, 1, 4, 1600, 1.35),
+    ModuleSpec("M15", "C", 8, 1, 4, 1600, 1.35),
+)
+
+
+@dataclass
+class ChipPopulation:
+    """A set of simulated modules built from :class:`ModuleSpec` entries."""
+
+    specs: tuple[ModuleSpec, ...] = PAPER_MODULE_SPECS
+    seed: int = 2021
+    #: Optional scale-down of the per-bank row count, so that experiment-sized
+    #: sweeps do not need to touch multi-gigabit chips.  The PUF experiments
+    #: sample random segments, so a smaller (but still large) row space does
+    #: not change the statistics.
+    rows_per_bank_limit: int | None = 4096
+    modules: list[DRAMModule] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.modules = [self._build_module(spec) for spec in self.specs]
+
+    def _build_module(self, spec: ModuleSpec) -> DRAMModule:
+        geometry = STANDARD_CHIP_GEOMETRIES[spec.chip_geometry_key()]
+        if self.rows_per_bank_limit is not None:
+            from dataclasses import replace
+
+            geometry = replace(
+                geometry,
+                rows_per_bank=min(geometry.rows_per_bank, self.rows_per_bank_limit),
+            )
+        return DRAMModule(
+            module_id=spec.module_id,
+            chip_geometry=geometry,
+            chips_per_rank=spec.chips_per_rank,
+            ranks=spec.ranks,
+            vendor=VENDOR_PROFILES[spec.vendor],
+            voltage=spec.voltage,
+            data_rate_mt_s=spec.data_rate_mt_s,
+            seed=derive_seed(self.seed, "population", spec.module_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Population queries
+    # ------------------------------------------------------------------
+    @property
+    def total_chips(self) -> int:
+        """Total number of chips across all modules (136 for the paper set)."""
+        return sum(spec.chips for spec in self.specs)
+
+    def modules_by_voltage(self, ddr3l: bool) -> list[DRAMModule]:
+        """Modules filtered by supply voltage class (DDR3L vs DDR3)."""
+        return [
+            module
+            for module, spec in zip(self.modules, self.specs)
+            if spec.is_ddr3l == ddr3l
+        ]
+
+    def chips_by_voltage(self, ddr3l: bool) -> int:
+        """Number of chips in the given voltage class (72 DDR3L / 64 DDR3)."""
+        return sum(
+            spec.chips for spec in self.specs if spec.is_ddr3l == ddr3l
+        )
+
+    def module(self, module_id: str) -> DRAMModule:
+        """Look up a module by its Table 12 identifier."""
+        for module in self.modules:
+            if module.module_id == module_id:
+                return module
+        raise KeyError(f"unknown module {module_id!r}")
+
+
+def paper_population(seed: int = 2021, rows_per_bank_limit: int | None = 4096) -> ChipPopulation:
+    """The full 136-chip population of the paper (Tables 3 and 12)."""
+    return ChipPopulation(seed=seed, rows_per_bank_limit=rows_per_bank_limit)

@@ -1,0 +1,73 @@
+"""Command-line reproduction report generator.
+
+Usage::
+
+    python -m repro.experiments                 # run every quick-mode experiment
+    python -m repro.experiments table2 fig7     # run a subset
+    python -m repro.experiments --full fig5     # paper-scale sample counts
+    python -m repro.experiments --list          # list experiment identifiers
+
+Each experiment prints the table/figure it reproduces in plain text, followed
+by a note quoting the paper's corresponding values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Command-line interface definition."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the CODIC paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment identifiers to run (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use paper-scale sample counts instead of quick mode",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list the available experiment identifiers and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_experiments:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [experiment_id for experiment_id in selected if experiment_id not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known experiments: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for index, experiment_id in enumerate(selected):
+        result = run_experiment(experiment_id, quick=not args.full)
+        if index:
+            print()
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Common result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.tables import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Result of regenerating one paper table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row of results."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note (e.g. a paper-vs-measured comparison)."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the result as a plain-text report section."""
+        lines = [render_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list[object]:
+        """Values of one column, by header name."""
+        try:
+            index = list(self.headers).index(header)
+        except ValueError:
+            raise KeyError(f"no column named {header!r}") from None
+        return [row[index] for row in self.rows]
+
+    def row_by(self, header: str, value: object) -> Sequence[object]:
+        """First row whose ``header`` column equals ``value``."""
+        index = list(self.headers).index(header)
+        for row in self.rows:
+            if row[index] == value:
+                return row
+        raise KeyError(f"no row with {header}={value!r}")

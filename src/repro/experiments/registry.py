@@ -1,0 +1,57 @@
+"""Registry of all experiment drivers, keyed by paper table/figure."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    coldboot_experiments,
+    dealloc_experiments,
+    puf_experiments,
+    substrate_tables,
+)
+from repro.experiments.base import ExperimentResult
+
+#: Every reproducible table/figure, keyed by the identifier used throughout
+#: DESIGN.md and EXPERIMENTS.md.
+EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+    "table1": substrate_tables.run_table1,
+    "table2": substrate_tables.run_table2,
+    "waveforms": substrate_tables.run_waveforms,
+    "fig5": puf_experiments.run_fig5,
+    "fig6": puf_experiments.run_fig6,
+    "aging": puf_experiments.run_aging,
+    "table4": puf_experiments.run_table4,
+    "table10": puf_experiments.run_table10,
+    "fig7": coldboot_experiments.run_fig7,
+    "fig7-energy": coldboot_experiments.run_energy_comparison,
+    "table6": coldboot_experiments.run_table6,
+    "table11": coldboot_experiments.run_table11,
+    "fig8": dealloc_experiments.run_fig8,
+    "fig9": dealloc_experiments.run_fig9,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
+    """Run one experiment by identifier."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known experiments: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(quick)
+
+
+def run_all(quick: bool = True) -> dict[str, ExperimentResult]:
+    """Run every registered experiment and return results keyed by id."""
+    return {
+        experiment_id: driver(quick) for experiment_id, driver in EXPERIMENTS.items()
+    }
+
+
+def render_report(quick: bool = True) -> str:
+    """Render a full plain-text reproduction report (all experiments)."""
+    sections = [result.render() for result in run_all(quick).values()]
+    return "\n\n".join(sections)

@@ -1,0 +1,55 @@
+"""Memory controller and system simulator (Ramulator substitute).
+
+The paper evaluates its application-level mechanisms (cold-boot
+self-destruction, secure deallocation) on Ramulator with the configuration of
+Table 5: an in-order core with 64 KB L1 and 512 KB L2 caches, a memory
+controller with 64-entry read/write queues and FR-FCFS scheduling, and one
+channel of DDR3-1600 x8 11-11-11 DRAM.
+
+This package provides an event-driven equivalent:
+
+* :mod:`repro.memctrl.request`    -- memory requests and their lifecycle,
+* :mod:`repro.memctrl.scheduler`  -- FR-FCFS (and FCFS, for ablations),
+* :mod:`repro.memctrl.controller` -- the memory controller: request queues,
+  row-buffer management, JEDEC-timed command issue, per-command energy,
+  in-DRAM row-granular operations (CODIC / RowClone / LISA),
+* :mod:`repro.memctrl.cache`      -- L1/L2 write-back caches with CLFLUSH,
+* :mod:`repro.memctrl.cpu`        -- in-order cores consuming instruction
+  traces,
+* :mod:`repro.memctrl.trace`      -- the trace format and generators,
+* :mod:`repro.memctrl.system`     -- the full simulated system.
+"""
+
+from repro.memctrl.request import MemoryRequest, RequestType
+from repro.memctrl.scheduler import FCFSScheduler, FRFCFSScheduler, Scheduler
+from repro.memctrl.controller import ControllerConfig, ControllerStats, MemoryController
+from repro.memctrl.cache import Cache, CacheConfig, CacheHierarchy
+from repro.memctrl.cpu import CoreStats, InOrderCore
+from repro.memctrl.trace import (
+    TraceEvent,
+    TraceEventType,
+    WorkloadTrace,
+)
+from repro.memctrl.system import System, SystemConfig, SystemStats
+
+__all__ = [
+    "MemoryRequest",
+    "RequestType",
+    "Scheduler",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "MemoryController",
+    "ControllerConfig",
+    "ControllerStats",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "InOrderCore",
+    "CoreStats",
+    "TraceEvent",
+    "TraceEventType",
+    "WorkloadTrace",
+    "System",
+    "SystemConfig",
+    "SystemStats",
+]

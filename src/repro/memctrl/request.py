@@ -1,0 +1,70 @@
+"""Memory requests exchanged between cores/caches and the memory controller."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class RequestType(enum.Enum):
+    """Kinds of requests the controller accepts."""
+
+    READ = "read"
+    WRITE = "write"
+    #: Row-granular in-DRAM zeroing via a CODIC command (CODIC-det).
+    CODIC_ZERO_ROW = "codic_zero_row"
+    #: Row-granular in-DRAM copy of an all-zero source row (RowClone-FPM).
+    ROWCLONE_ZERO_ROW = "rowclone_zero_row"
+    #: Row-granular in-DRAM copy through the LISA inter-subarray links.
+    LISA_ZERO_ROW = "lisa_zero_row"
+
+    @property
+    def is_row_granular(self) -> bool:
+        """Whether the request operates on a whole DRAM row."""
+        return self in {
+            RequestType.CODIC_ZERO_ROW,
+            RequestType.ROWCLONE_ZERO_ROW,
+            RequestType.LISA_ZERO_ROW,
+        }
+
+    @property
+    def needs_data_bus(self) -> bool:
+        """Whether the request transfers data over the memory channel."""
+        return self in {RequestType.READ, RequestType.WRITE}
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class MemoryRequest:
+    """One request in flight through the memory system."""
+
+    request_type: RequestType
+    address: int
+    arrival_ns: float
+    core_id: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    # Filled in by the controller.
+    issue_ns: float | None = None
+    completion_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.arrival_ns < 0:
+            raise ValueError("arrival_ns must be non-negative")
+
+    @property
+    def latency_ns(self) -> float:
+        """Total latency from arrival to completion (requires completion)."""
+        if self.completion_ns is None:
+            raise ValueError("request has not completed yet")
+        return self.completion_ns - self.arrival_ns
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the controller has finished servicing this request."""
+        return self.completion_ns is not None

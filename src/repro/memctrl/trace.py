@@ -1,0 +1,171 @@
+"""Workload traces consumed by the in-order core model.
+
+A trace is a sequence of events:
+
+* ``COMPUTE`` -- the core executes ``count`` non-memory instructions (one
+  instruction per cycle on the in-order core),
+* ``LOAD`` / ``STORE`` -- a memory access to ``address``,
+* ``FLUSH`` -- a CLFLUSH of the line containing ``address``,
+* ``DEALLOC`` -- the program deallocates ``size_bytes`` starting at
+  ``address``; the secure-deallocation mechanism under evaluation decides how
+  that region is zeroed (software stores + flushes, or in-DRAM row
+  operations).
+
+Traces can be read from / written to a simple text format (one event per
+line), mirroring how the paper feeds Pin/Bochs traces to Ramulator, and are
+usually produced by the generators in :mod:`repro.dealloc.workloads`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+class TraceEventType(enum.Enum):
+    """Kinds of trace events."""
+
+    COMPUTE = "compute"
+    LOAD = "load"
+    STORE = "store"
+    FLUSH = "flush"
+    DEALLOC = "dealloc"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of a workload trace."""
+
+    event_type: TraceEventType
+    #: COMPUTE: number of instructions; other events: ignored.
+    count: int = 0
+    #: LOAD/STORE/FLUSH: byte address; DEALLOC: region start address.
+    address: int = 0
+    #: DEALLOC: region size in bytes.
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.address < 0 or self.size_bytes < 0:
+            raise ValueError("trace event fields must be non-negative")
+        if self.event_type is TraceEventType.COMPUTE and self.count == 0:
+            raise ValueError("COMPUTE events need a positive instruction count")
+        if self.event_type is TraceEventType.DEALLOC and self.size_bytes == 0:
+            raise ValueError("DEALLOC events need a positive size")
+
+    # ------------------------------------------------------------------
+    # Text serialization
+    # ------------------------------------------------------------------
+    def to_line(self) -> str:
+        """Serialize to one trace-file line."""
+        if self.event_type is TraceEventType.COMPUTE:
+            return f"C {self.count}"
+        if self.event_type is TraceEventType.LOAD:
+            return f"L {self.address:#x}"
+        if self.event_type is TraceEventType.STORE:
+            return f"S {self.address:#x}"
+        if self.event_type is TraceEventType.FLUSH:
+            return f"F {self.address:#x}"
+        return f"D {self.address:#x} {self.size_bytes}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceEvent":
+        """Parse one trace-file line."""
+        parts = line.split()
+        if not parts:
+            raise ValueError("empty trace line")
+        kind = parts[0].upper()
+        if kind == "C":
+            return cls(TraceEventType.COMPUTE, count=int(parts[1]))
+        if kind == "L":
+            return cls(TraceEventType.LOAD, address=int(parts[1], 0))
+        if kind == "S":
+            return cls(TraceEventType.STORE, address=int(parts[1], 0))
+        if kind == "F":
+            return cls(TraceEventType.FLUSH, address=int(parts[1], 0))
+        if kind == "D":
+            return cls(
+                TraceEventType.DEALLOC,
+                address=int(parts[1], 0),
+                size_bytes=int(parts[2]),
+            )
+        raise ValueError(f"unknown trace event kind {kind!r}")
+
+
+@dataclass
+class WorkloadTrace:
+    """A named sequence of trace events."""
+
+    name: str
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def append(self, event: TraceEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Append many events."""
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def instruction_count(self) -> int:
+        """Total number of (modeled) instructions in the trace."""
+        total = 0
+        for event in self.events:
+            if event.event_type is TraceEventType.COMPUTE:
+                total += event.count
+            else:
+                total += 1
+        return total
+
+    @property
+    def memory_accesses(self) -> int:
+        """Number of explicit LOAD/STORE events."""
+        return sum(
+            1
+            for event in self.events
+            if event.event_type in (TraceEventType.LOAD, TraceEventType.STORE)
+        )
+
+    @property
+    def deallocated_bytes(self) -> int:
+        """Total bytes deallocated by DEALLOC events."""
+        return sum(
+            event.size_bytes
+            for event in self.events
+            if event.event_type is TraceEventType.DEALLOC
+        )
+
+    # ------------------------------------------------------------------
+    # File I/O
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the trace to a text file."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(f"# trace {self.name}\n")
+            for event in self.events:
+                handle.write(event.to_line() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadTrace":
+        """Read a trace from a text file."""
+        path = Path(path)
+        trace = cls(name=path.stem)
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                trace.append(TraceEvent.from_line(line))
+        return trace

@@ -1,0 +1,19 @@
+"""DRAM energy modelling (DRAMPower substitute).
+
+The paper computes command energies with DRAMPower; the evaluation only uses
+aggregate per-command energies (activation ~17 nJ, with ~40 % spent on
+in-DRAM address routing and ~40 % on the sense amplifiers / precharge logic),
+so this package provides a per-command energy model with that breakdown plus
+command counters for accumulating the energy of full mechanisms (cold-boot
+destruction, secure deallocation).
+"""
+
+from repro.power.model import CommandEnergyModel, EnergyBreakdown
+from repro.power.counters import CommandCounters, EnergyAccountant
+
+__all__ = [
+    "CommandEnergyModel",
+    "EnergyBreakdown",
+    "CommandCounters",
+    "EnergyAccountant",
+]

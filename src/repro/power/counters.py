@@ -1,0 +1,85 @@
+"""Command counters and energy accounting.
+
+The memory controller and the application-level mechanisms (self-destruction,
+secure deallocation) record how many commands of each type they issued; the
+:class:`EnergyAccountant` turns those counters plus elapsed time into total
+energy using a :class:`~repro.power.model.CommandEnergyModel`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.dram.commands import CommandType
+from repro.power.model import CommandEnergyModel
+
+
+@dataclass
+class CommandCounters:
+    """Counts of DRAM commands issued during a simulation."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, command: CommandType, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``command``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.counts[command] += count
+
+    def count(self, command: CommandType) -> int:
+        """Number of recorded occurrences of ``command``."""
+        return self.counts.get(command, 0)
+
+    def total(self) -> int:
+        """Total number of recorded commands."""
+        return sum(self.counts.values())
+
+    def merge(self, other: "CommandCounters") -> "CommandCounters":
+        """Return new counters holding the sum of both operands."""
+        merged = CommandCounters()
+        merged.counts = self.counts + other.counts
+        return merged
+
+    def as_dict(self) -> dict[str, int]:
+        """Counts keyed by command mnemonic (for reports)."""
+        return {command.value: count for command, count in sorted(
+            self.counts.items(), key=lambda item: item[0].value
+        )}
+
+
+@dataclass
+class EnergyAccountant:
+    """Accumulates command and background energy."""
+
+    model: CommandEnergyModel = field(default_factory=CommandEnergyModel)
+    counters: CommandCounters = field(default_factory=CommandCounters)
+    elapsed_ns: float = 0.0
+
+    def record_command(self, command: CommandType, count: int = 1) -> None:
+        """Record commands for later energy accounting."""
+        self.counters.record(command, count)
+
+    def record_time(self, duration_ns: float) -> None:
+        """Record elapsed wall-clock time (for background energy)."""
+        if duration_ns < 0:
+            raise ValueError("duration must be non-negative")
+        self.elapsed_ns += duration_ns
+
+    def command_energy_nj(self) -> float:
+        """Total energy of all recorded commands."""
+        return sum(
+            self.model.command_energy_nj(command) * count
+            for command, count in self.counters.counts.items()
+        )
+
+    def background_energy_nj(self) -> float:
+        """Background energy over the recorded elapsed time."""
+        return self.model.background_energy_nj(self.elapsed_ns)
+
+    def total_energy_nj(self, include_background: bool = True) -> float:
+        """Total energy (commands plus, optionally, background)."""
+        energy = self.command_energy_nj()
+        if include_background:
+            energy += self.background_energy_nj()
+        return energy

@@ -1,0 +1,49 @@
+"""DRAM Physical Unclonable Functions (Section 5.1 / 6.1).
+
+This package implements the CODIC-sig PUF and the two state-of-the-art
+baselines the paper compares against:
+
+* **CODIC-sig PUF** -- drives a memory segment's cells to Vdd/2 with the
+  CODIC-sig command and amplifies them with a regular activation; the
+  resulting minority-cell addresses form the response.
+* **DRAM Latency PUF** (Kim et al., HPCA'18) -- accesses the segment with a
+  strongly reduced tRCD and uses the addresses of failing cells, filtered
+  over 100 reads.
+* **PreLatPUF** (Talukder et al., IEEE Access'19) -- uses failures induced by
+  a strongly reduced tRP.
+
+It also provides the Jaccard-index quality metrics, the evaluation harness
+used for Figures 5 and 6 (including temperature and aging sweeps), the
+response-time model of Table 4, and a challenge-response authentication
+protocol with false-accept/false-reject analysis.
+"""
+
+from repro.puf.base import Challenge, PUFResponse, DRAMPUF
+from repro.puf.codic_puf import CODICSigPUF
+from repro.puf.latency_puf import DRAMLatencyPUF
+from repro.puf.prelat_puf import PreLatPUF
+from repro.puf.filtering import majority_filter, intersect_filter
+from repro.puf.jaccard import jaccard_index, JaccardDistribution
+from repro.puf.evaluation import PUFEvaluator, PUFQualityResult, TemperaturePoint
+from repro.puf.timing import PUFTimingModel, ResponseTimeEstimate
+from repro.puf.authentication import AuthenticationProtocol, AuthenticationResult
+
+__all__ = [
+    "Challenge",
+    "PUFResponse",
+    "DRAMPUF",
+    "CODICSigPUF",
+    "DRAMLatencyPUF",
+    "PreLatPUF",
+    "majority_filter",
+    "intersect_filter",
+    "jaccard_index",
+    "JaccardDistribution",
+    "PUFEvaluator",
+    "PUFQualityResult",
+    "TemperaturePoint",
+    "PUFTimingModel",
+    "ResponseTimeEstimate",
+    "AuthenticationProtocol",
+    "AuthenticationResult",
+]

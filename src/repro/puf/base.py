@@ -1,0 +1,80 @@
+"""PUF abstractions: challenges, responses and the DRAM PUF interface.
+
+Following the paper, a *challenge* is the address and size of a memory
+segment, and the *response* is the set of cell addresses (bit positions
+within the segment) that exhibit the PUF's characteristic behaviour
+(minority amplification value for CODIC-sig, access failures for the
+latency-based PUFs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.dram.module import DRAMModule, SegmentAddress
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """A PUF challenge: which memory segment to evaluate."""
+
+    segment: SegmentAddress
+    #: Size of the segment in bytes (the paper uses 8 KB segments).
+    size_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("segment size must be positive")
+
+    @classmethod
+    def random(cls, module: DRAMModule, rng: np.random.Generator,
+               size_bytes: int = 8192) -> "Challenge":
+        """Draw a random challenge addressing one segment of ``module``."""
+        return cls(segment=module.random_segment(rng), size_bytes=size_bytes)
+
+
+@dataclass(frozen=True)
+class PUFResponse:
+    """A PUF response: the set of characteristic bit positions of a segment."""
+
+    positions: frozenset[int]
+    challenge: Challenge
+    temperature_c: float = 30.0
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def jaccard_with(self, other: "PUFResponse") -> float:
+        """Jaccard similarity with another response."""
+        union = self.positions | other.positions
+        if not union:
+            # Two empty responses are (vacuously) identical.
+            return 1.0
+        return len(self.positions & other.positions) / len(union)
+
+    def matches(self, other: "PUFResponse") -> bool:
+        """Exact-match comparison (used by no-filter authentication)."""
+        return self.positions == other.positions
+
+
+class DRAMPUF(Protocol):
+    """Interface shared by all DRAM PUF implementations."""
+
+    #: Human-readable name used in reports and plots.
+    name: str
+
+    def evaluate(
+        self,
+        challenge: Challenge,
+        temperature_c: float = 30.0,
+        rng: np.random.Generator | None = None,
+    ) -> PUFResponse:
+        """Produce one (possibly filtered) response to ``challenge``."""
+        ...  # pragma: no cover - protocol definition
+
+    def evaluation_passes(self) -> int:
+        """Number of raw segment evaluations one response requires."""
+        ...  # pragma: no cover - protocol definition

@@ -1,0 +1,55 @@
+"""Response filtering mechanisms.
+
+Raw DRAM PUF observations are noisy: a cell that usually exhibits the
+characteristic behaviour may occasionally not, and vice versa.  The paper
+distinguishes between the *heavy* filtering the DRAM Latency PUF needs
+(100 reads, keep cells failing more than 90 times) and the *lightweight*
+filter that is sufficient for CODIC-sig and PreLatPUF (5 reads).  Both reduce
+to simple set combinators over repeated observations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+
+def majority_filter(
+    observations: Sequence[frozenset[int]], threshold: int | None = None
+) -> frozenset[int]:
+    """Keep positions that appear in more than ``threshold`` observations.
+
+    With the default threshold (strict majority), a position must appear in
+    more than half of the observations.  The DRAM Latency PUF uses 100
+    observations with a threshold of 90.
+    """
+    if not observations:
+        raise ValueError("at least one observation is required")
+    if threshold is None:
+        threshold = len(observations) // 2
+    if not 0 <= threshold < len(observations):
+        raise ValueError(
+            f"threshold {threshold} must be in [0, {len(observations) - 1}]"
+        )
+    counts: Counter = Counter()
+    for observation in observations:
+        counts.update(observation)
+    return frozenset(
+        position for position, count in counts.items() if count > threshold
+    )
+
+
+def intersect_filter(observations: Iterable[frozenset[int]]) -> frozenset[int]:
+    """Keep only positions present in *every* observation.
+
+    This is the conservative filter the paper applies to CODIC-sig and
+    PreLatPUF responses ("a conservative filter of 5 challenges for
+    generating always the same response"): the resulting response contains
+    only perfectly repeatable positions.
+    """
+    result: frozenset[int] | None = None
+    for observation in observations:
+        result = observation if result is None else (result & observation)
+    if result is None:
+        raise ValueError("at least one observation is required")
+    return result

@@ -1,0 +1,117 @@
+"""Jaccard-index quality metrics (Section 6.1.1).
+
+The paper measures PUF quality with the Jaccard index between two responses:
+``|u1 ∩ u2| / |u1 ∪ u2|``.  *Intra-Jaccard* compares two responses to the
+same challenge (ideal value: 1 -- the PUF is repeatable); *Inter-Jaccard*
+compares responses to different challenges (ideal value: 0 -- the PUF is
+unique).  Figure 5 plots the distributions of both indices over 10,000 random
+segment pairs; :class:`JaccardDistribution` reproduces those distributions
+and their histogram representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def jaccard_index(first: frozenset[int] | set, second: frozenset[int] | set) -> float:
+    """Jaccard similarity of two position sets.
+
+    Two empty sets are treated as identical (index 1.0), matching the
+    convention in :meth:`repro.puf.base.PUFResponse.jaccard_with`.
+    """
+    first = set(first)
+    second = set(second)
+    union = first | second
+    if not union:
+        return 1.0
+    return len(first & second) / len(union)
+
+
+@dataclass
+class JaccardDistribution:
+    """A collection of Jaccard indices with summary statistics."""
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one Jaccard index."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"Jaccard index must be in [0, 1], got {value}")
+        self.values.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many Jaccard indices."""
+        for value in values:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Mean index (0 when empty)."""
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    @property
+    def median(self) -> float:
+        """Median index (0 when empty)."""
+        return float(np.median(self.values)) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        """Standard deviation (dispersion of the distribution)."""
+        return float(np.std(self.values)) if self.values else 0.0
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of indices strictly above ``threshold``."""
+        if not self.values:
+            return 0.0
+        return float(np.mean(np.asarray(self.values) > threshold))
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of indices strictly below ``threshold``."""
+        if not self.values:
+            return 0.0
+        return float(np.mean(np.asarray(self.values) < threshold))
+
+    # ------------------------------------------------------------------
+    # Histogram (Figure 5 representation)
+    # ------------------------------------------------------------------
+    def histogram(self, bins: int = 50) -> tuple[np.ndarray, np.ndarray]:
+        """Probability histogram over [0, 1] (percent per bin).
+
+        Returns ``(bin_edges, probabilities_percent)`` with ``bins + 1`` edges
+        and ``bins`` probabilities, matching the y-axis of the paper's
+        Figure 5 ("Probability (%)").
+        """
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        counts, edges = np.histogram(self.values, bins=bins, range=(0.0, 1.0))
+        total = counts.sum()
+        probabilities = (100.0 * counts / total) if total else counts.astype(float)
+        return edges, probabilities
+
+    def summary(self) -> dict[str, float]:
+        """Compact summary used in reports."""
+        return {
+            "count": float(len(self.values)),
+            "mean": self.mean,
+            "median": self.median,
+            "std": self.std,
+        }
+
+
+def pairwise_jaccard(responses: Sequence[frozenset[int]]) -> JaccardDistribution:
+    """All-pairs Jaccard distribution of a set of responses."""
+    distribution = JaccardDistribution()
+    for i in range(len(responses)):
+        for j in range(i + 1, len(responses)):
+            distribution.add(jaccard_index(responses[i], responses[j]))
+    return distribution

@@ -1,0 +1,81 @@
+"""The PreLatPUF baseline (Talukder et al., IEEE Access 2019).
+
+PreLatPUF generates responses from failures induced by a strongly reduced
+precharge latency (tRP = 2.5 ns in the paper's comparison).  The failures are
+dominated by per-column sense-amplifier behaviour, which makes the responses
+very repeatable (good Intra-Jaccard) but poorly unique across segments of the
+same device (dispersed Inter-Jaccard), exactly the trade-off visible in the
+paper's Figure 5.
+
+As in the paper's methodology, the per-cell selection mechanism proposed by
+the PreLatPUF authors is *not* applied: the goal is to compare the quality of
+the underlying failure mechanisms under the same conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.module import DRAMModule
+from repro.puf.base import Challenge, PUFResponse
+from repro.puf.filtering import intersect_filter
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class PreLatPUF:
+    """Reduced-tRP failure PUF with lightweight filtering."""
+
+    module: DRAMModule
+    trp_ns: float = 2.5
+    #: Number of repeated evaluations combined by the lightweight filter
+    #: (``1`` disables filtering).
+    filter_passes: int = 5
+    name: str = "PreLatPUF"
+    noise_seed: int = 303
+
+    _evaluations: int = 0
+
+    def evaluation_passes(self) -> int:
+        """Raw segment evaluations needed per response."""
+        return self.filter_passes
+
+    def evaluate(
+        self,
+        challenge: Challenge,
+        temperature_c: float = 30.0,
+        rng: np.random.Generator | None = None,
+    ) -> PUFResponse:
+        """Evaluate the PUF on one challenge."""
+        observations = []
+        for pass_index in range(self.filter_passes):
+            observations.append(
+                self._single_pass(challenge, temperature_c, rng, pass_index)
+            )
+        if len(observations) == 1:
+            positions = observations[0]
+        else:
+            positions = intersect_filter(observations)
+        return PUFResponse(
+            positions=positions, challenge=challenge, temperature_c=temperature_c
+        )
+
+    def _single_pass(
+        self,
+        challenge: Challenge,
+        temperature_c: float,
+        rng: np.random.Generator | None,
+        pass_index: int,
+    ) -> frozenset[int]:
+        self._evaluations += 1
+        noise_rng = rng if rng is not None else make_rng(
+            self.noise_seed, "prelat-puf", self._evaluations, pass_index
+        )
+        return self.module.rp_response(
+            challenge.segment,
+            trp_ns=self.trp_ns,
+            temperature_c=temperature_c,
+            rng=noise_rng,
+        )

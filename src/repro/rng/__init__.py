@@ -1,0 +1,27 @@
+"""Randomness analysis: Von Neumann extraction and the NIST SP 800-22 suite.
+
+The paper validates that CODIC-sig signatures are usable as cryptographic
+key material by whitening 250 KB streams of responses with a Von Neumann
+extractor and running the 15 tests of the NIST SP 800-22 statistical test
+suite (Section 6.1.3 and Appendix B).  This package implements:
+
+* the Von Neumann extractor,
+* serialization of CODIC-sig PUF responses into bitstreams,
+* all 15 NIST tests (as named in the paper's Table 10),
+* a suite runner that aggregates per-test p-values and PASS/FAIL results.
+"""
+
+from repro.rng.extractor import von_neumann_extract, bits_to_bytes, bytes_to_bits
+from repro.rng.stream import signature_bitstream
+from repro.rng.nist import NISTTestResult, NISTSuiteResult, run_nist_suite, NIST_TEST_NAMES
+
+__all__ = [
+    "von_neumann_extract",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "signature_bitstream",
+    "NISTTestResult",
+    "NISTSuiteResult",
+    "run_nist_suite",
+    "NIST_TEST_NAMES",
+]

@@ -1,0 +1,56 @@
+"""Von Neumann extractor and bit/byte conversion helpers.
+
+The Von Neumann extractor debiases a stream of independent but possibly
+biased bits: it consumes the stream in non-overlapping pairs and emits the
+first bit of each discordant pair (``01`` -> 0, ``10`` -> 1), discarding
+concordant pairs.  The output is unbiased regardless of the input bias, at
+the cost of throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def von_neumann_extract(bits: np.ndarray) -> np.ndarray:
+    """Debias a bit array with the Von Neumann extractor.
+
+    Parameters
+    ----------
+    bits:
+        Array of 0/1 values (any integer dtype).
+
+    Returns
+    -------
+    numpy.ndarray
+        The extracted (unbiased) bits, dtype ``uint8``.
+    """
+    bits = np.asarray(bits).astype(np.uint8)
+    if bits.ndim != 1:
+        raise ValueError("bit stream must be one-dimensional")
+    if bits.size % 2 == 1:
+        bits = bits[:-1]
+    if not np.all((bits == 0) | (bits == 1)):
+        raise ValueError("bit stream must contain only 0/1 values")
+    first = bits[0::2]
+    second = bits[1::2]
+    discordant = first != second
+    return first[discordant].astype(np.uint8)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 array into bytes (big-endian within each byte)."""
+    bits = np.asarray(bits).astype(np.uint8)
+    if not np.all((bits == 0) | (bits == 1)):
+        raise ValueError("bit stream must contain only 0/1 values")
+    usable = (bits.size // 8) * 8
+    if usable == 0:
+        return b""
+    return np.packbits(bits[:usable]).tobytes()
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Unpack bytes into a 0/1 array (big-endian within each byte)."""
+    if not data:
+        return np.empty(0, dtype=np.uint8)
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))

@@ -1,0 +1,26 @@
+"""NIST SP 800-22 statistical test suite (the 15 tests of the paper's Table 10).
+
+Each test takes a 0/1 bit array and returns a :class:`NISTTestResult` with a
+p-value and a PASS/FAIL decision at the standard significance level of 0.01.
+Tests that internally produce several p-values (serial, cumulative sums,
+random excursions) report the *minimum* p-value, which is the conservative
+aggregation: the test passes only if every sub-statistic passes.
+
+The implementations follow the test definitions of NIST SP 800-22 Rev. 1a
+(Rukhin et al., 2010).  Some tests have minimum-length requirements (notably
+Maurer's universal statistic and the overlapping-template test); when the
+input is too short the test reports ``applicable=False`` and is excluded from
+the suite's aggregate verdict, mirroring how the reference implementation
+refuses to run them.
+"""
+
+from repro.rng.nist.result import NISTTestResult, NISTSuiteResult
+from repro.rng.nist.suite import NIST_TEST_NAMES, run_nist_suite, run_single_test
+
+__all__ = [
+    "NISTTestResult",
+    "NISTSuiteResult",
+    "NIST_TEST_NAMES",
+    "run_nist_suite",
+    "run_single_test",
+]

@@ -1,0 +1,76 @@
+"""Result containers for the NIST SP 800-22 suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Significance level used throughout SP 800-22.
+SIGNIFICANCE_LEVEL = 0.01
+
+
+@dataclass(frozen=True)
+class NISTTestResult:
+    """Outcome of one NIST test on one bit stream."""
+
+    name: str
+    p_value: float
+    applicable: bool = True
+    #: Individual p-values for tests that compute several (serial, cusum,
+    #: random excursions); ``p_value`` is their minimum.
+    sub_p_values: tuple[float, ...] = ()
+
+    @property
+    def passed(self) -> bool:
+        """PASS/FAIL decision at the 0.01 significance level."""
+        if not self.applicable:
+            return True
+        return self.p_value >= SIGNIFICANCE_LEVEL
+
+    def describe(self) -> str:
+        """One-line description matching the paper's Table 10 format."""
+        if not self.applicable:
+            return f"{self.name}: not applicable (stream too short)"
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"{self.name}: p={self.p_value:.4f} {verdict}"
+
+
+@dataclass
+class NISTSuiteResult:
+    """Aggregate result of running the full suite on one bit stream."""
+
+    stream_bits: int
+    results: list[NISTTestResult] = field(default_factory=list)
+
+    def add(self, result: NISTTestResult) -> None:
+        """Record one test result."""
+        self.results.append(result)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every applicable test passed."""
+        return all(result.passed for result in self.results)
+
+    @property
+    def applicable_tests(self) -> int:
+        """Number of tests that could be run on this stream length."""
+        return sum(1 for result in self.results if result.applicable)
+
+    def result(self, name: str) -> NISTTestResult:
+        """Look up one test's result by name."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(f"no result for test {name!r}")
+
+    def as_table_rows(self) -> list[tuple[str, str, str]]:
+        """Rows of (test, p-value, verdict) matching the paper's Table 10."""
+        rows = []
+        for result in self.results:
+            if result.applicable:
+                rows.append(
+                    (result.name, f"{result.p_value:.3f}",
+                     "PASS" if result.passed else "FAIL")
+                )
+            else:
+                rows.append((result.name, "-", "N/A"))
+        return rows

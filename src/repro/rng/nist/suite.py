@@ -1,0 +1,69 @@
+"""NIST SP 800-22 suite runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.rng.nist import basic, complexity, templates
+from repro.rng.nist.result import NISTSuiteResult, NISTTestResult
+
+#: The 15 tests in the order of the paper's Table 10.
+NIST_TEST_NAMES: tuple[str, ...] = (
+    "monobit",
+    "frequency_within_block",
+    "runs",
+    "longest_run_ones_in_a_block",
+    "binary_matrix_rank",
+    "dft",
+    "non_overlapping_template_matching",
+    "overlapping_template_matching",
+    "maurers_universal",
+    "linear_complexity",
+    "serial",
+    "approximate_entropy",
+    "cumulative_sums",
+    "random_excursion",
+    "random_excursion_variant",
+)
+
+_TESTS: dict[str, Callable[[np.ndarray], NISTTestResult]] = {
+    "monobit": basic.monobit,
+    "frequency_within_block": basic.frequency_within_block,
+    "runs": basic.runs,
+    "longest_run_ones_in_a_block": basic.longest_run_ones_in_a_block,
+    "binary_matrix_rank": basic.binary_matrix_rank,
+    "dft": basic.dft,
+    "non_overlapping_template_matching": templates.non_overlapping_template_matching,
+    "overlapping_template_matching": templates.overlapping_template_matching,
+    "maurers_universal": templates.maurers_universal,
+    "linear_complexity": complexity.linear_complexity,
+    "serial": templates.serial,
+    "approximate_entropy": templates.approximate_entropy,
+    "cumulative_sums": basic.cumulative_sums,
+    "random_excursion": complexity.random_excursion,
+    "random_excursion_variant": complexity.random_excursion_variant,
+}
+
+
+def run_single_test(name: str, bits: np.ndarray) -> NISTTestResult:
+    """Run one named NIST test."""
+    try:
+        test = _TESTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown NIST test {name!r}; valid names: {NIST_TEST_NAMES}"
+        ) from None
+    return test(np.asarray(bits))
+
+
+def run_nist_suite(
+    bits: np.ndarray, tests: tuple[str, ...] = NIST_TEST_NAMES
+) -> NISTSuiteResult:
+    """Run the requested NIST tests on one bit stream."""
+    bits = np.asarray(bits)
+    suite = NISTSuiteResult(stream_bits=int(bits.size))
+    for name in tests:
+        suite.add(run_single_test(name, bits))
+    return suite

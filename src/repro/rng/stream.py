@@ -1,0 +1,135 @@
+"""Serialization of CODIC-sig responses into random bitstreams.
+
+Section 6.1.3 of the paper builds 250 KB random streams "composed of
+responses to different challenges from all tested DRAM chips" and whitens
+them with a Von Neumann extractor before running the NIST suite.
+
+Two serializations are provided:
+
+* ``values`` (default): the raw amplified cell values of each evaluated
+  segment (a heavily 0-biased independent bit stream -- the Von Neumann
+  extractor removes the bias and leaves uniform independent bits);
+* ``addresses``: the low-order address bits of the minority cells (the
+  positions are spatially uniform, so their low-order bits are unbiased).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dram.module import DRAMModule
+from repro.puf.base import Challenge
+from repro.puf.codic_puf import CODICSigPUF
+from repro.rng.extractor import von_neumann_extract
+from repro.utils.rng import make_rng
+
+#: Number of low-order address bits used by the ``addresses`` serialization.
+ADDRESS_BITS = 8
+
+
+def positions_to_dense_bits(positions: frozenset[int], segment_bits: int) -> np.ndarray:
+    """Expand a response's position set into the full segment bit values."""
+    dense = np.zeros(segment_bits, dtype=np.uint8)
+    if positions:
+        dense[np.fromiter(positions, dtype=np.int64)] = 1
+    return dense
+
+
+def positions_to_address_bits(
+    positions: frozenset[int], address_bits: int = ADDRESS_BITS
+) -> np.ndarray:
+    """Serialize the low-order address bits of each response position.
+
+    Only the low-order bits are used: the positions are emitted in sorted
+    order (sets are unordered), so high-order bits of consecutive addresses
+    would be strongly correlated, whereas the low-order bits of uniformly
+    scattered positions are close to independent fair bits.
+    """
+    if address_bits <= 0:
+        raise ValueError("address_bits must be positive")
+    chunks = []
+    for position in sorted(positions):
+        chunks.append([(position >> bit) & 1 for bit in range(address_bits)])
+    if not chunks:
+        return np.empty(0, dtype=np.uint8)
+    return np.asarray(chunks, dtype=np.uint8).reshape(-1)
+
+
+def signature_bitstream(
+    modules: Sequence[DRAMModule],
+    target_bits: int,
+    seed: int = 42,
+    whiten: bool = True,
+    temperature_c: float = 30.0,
+    mode: str = "values",
+) -> np.ndarray:
+    """Generate a (whitened) random bitstream from CODIC-sig responses.
+
+    Responses to random challenges are drawn round-robin from ``modules``
+    until enough raw bits have been accumulated; the raw stream is then
+    (optionally) passed through the Von Neumann extractor and truncated to
+    ``target_bits``.
+    """
+    if target_bits <= 0:
+        raise ValueError("target_bits must be positive")
+    if not modules:
+        raise ValueError("at least one module is required")
+    if mode not in ("values", "addresses"):
+        raise ValueError(f"unknown serialization mode {mode!r}")
+
+    rng = make_rng(seed, "signature-bitstream", mode)
+    collected: list[np.ndarray] = []
+    collected_bits = 0
+    raw_bits_needed = _raw_bits_needed(target_bits, whiten, mode, modules[0])
+
+    module_index = 0
+    while collected_bits < raw_bits_needed:
+        module = modules[module_index % len(modules)]
+        module_index += 1
+        puf = CODICSigPUF(module, filter_passes=1)
+        challenge = Challenge.random(module, rng)
+        response = puf.evaluate(challenge, temperature_c=temperature_c, rng=rng)
+        if mode == "values":
+            bits = positions_to_dense_bits(response.positions, module.segment_bits)
+        else:
+            bits = positions_to_address_bits(response.positions)
+        if bits.size == 0:
+            continue
+        collected.append(bits)
+        collected_bits += bits.size
+
+    raw = np.concatenate(collected)
+    stream = von_neumann_extract(raw) if whiten else raw
+    while stream.size < target_bits:
+        # Rare with the over-collection margin; top up deterministically.
+        extra = signature_bitstream(
+            modules,
+            target_bits - int(stream.size),
+            seed + 1,
+            whiten,
+            temperature_c,
+            mode,
+        )
+        stream = np.concatenate([stream, extra])
+    return stream[:target_bits].astype(np.uint8)
+
+
+def _raw_bits_needed(
+    target_bits: int, whiten: bool, mode: str, reference_module: DRAMModule
+) -> int:
+    """Raw bits to collect before extraction, with a safety margin."""
+    if not whiten:
+        return target_bits + 64
+    if mode == "addresses":
+        # Address bits are nearly unbiased: the extractor keeps ~1/4 of them.
+        return target_bits * 5 + 1024
+    # Dense values are heavily biased towards 0: a bit survives extraction
+    # with probability p*(1-p) per input pair, i.e. roughly p/2 per raw bit.
+    weak_fraction = max(
+        1e-4,
+        float(np.mean([chip.sig_weak_fraction for chip in reference_module.chips])),
+    )
+    survival_per_raw_bit = weak_fraction * (1.0 - weak_fraction)
+    return int(target_bits / survival_per_raw_bit * 1.3) + 4096

@@ -1,0 +1,42 @@
+"""Deterministic random-number helpers.
+
+All stochastic behaviour in the library (process variation, retention
+leakage, workload generation) is derived from explicit seeds so that every
+experiment in the paper reproduction is repeatable bit-for-bit.  Seeds for
+sub-components are derived from a parent seed plus a string *label* so that
+adding a new consumer of randomness never perturbs existing streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(parent_seed: int, *labels: object) -> int:
+    """Derive a child seed from ``parent_seed`` and an arbitrary label path.
+
+    The derivation hashes the parent seed together with the string form of
+    every label, producing a 63-bit integer.  Different label paths give
+    statistically independent streams; the same path always gives the same
+    seed.
+
+    >>> derive_seed(1, "chip", 3) == derive_seed(1, "chip", 3)
+    True
+    >>> derive_seed(1, "chip", 3) != derive_seed(1, "chip", 4)
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(parent_seed)).encode("utf-8"))
+    for label in labels:
+        hasher.update(b"/")
+        hasher.update(str(label).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def make_rng(seed: int, *labels: object) -> np.random.Generator:
+    """Create a NumPy generator for ``seed`` (optionally derived via labels)."""
+    if labels:
+        seed = derive_seed(seed, *labels)
+    return np.random.default_rng(seed)

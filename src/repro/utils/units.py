@@ -1,0 +1,69 @@
+"""Unit constants and human-readable formatting helpers.
+
+The simulator works internally in a small set of base units:
+
+* time        -> nanoseconds (float)
+* energy      -> nanojoules (float)
+* capacity    -> bytes (int)
+* voltage     -> volts, usually normalized so that ``Vdd == 1.0``
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Capacity units (binary prefixes, as used by DRAM densities in the paper).
+# ---------------------------------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# ---------------------------------------------------------------------------
+# Time units expressed in nanoseconds.
+# ---------------------------------------------------------------------------
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count with the largest fitting binary prefix.
+
+    >>> format_bytes(64 * MB)
+    '64.0 MB'
+    """
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time_ns(time_ns: float) -> str:
+    """Render a duration given in nanoseconds using the most natural unit.
+
+    >>> format_time_ns(150_000.0)
+    '150.00 us'
+    """
+    if time_ns < NS_PER_US:
+        return f"{time_ns:.2f} ns"
+    if time_ns < NS_PER_MS:
+        return f"{time_ns / NS_PER_US:.2f} us"
+    if time_ns < NS_PER_S:
+        return f"{time_ns / NS_PER_MS:.2f} ms"
+    return f"{time_ns / NS_PER_S:.2f} s"
+
+
+def format_energy_nj(energy_nj: float) -> str:
+    """Render an energy value given in nanojoules.
+
+    >>> format_energy_nj(17.2)
+    '17.20 nJ'
+    """
+    if energy_nj < 1_000.0:
+        return f"{energy_nj:.2f} nJ"
+    if energy_nj < 1_000_000.0:
+        return f"{energy_nj / 1_000.0:.2f} uJ"
+    if energy_nj < 1_000_000_000.0:
+        return f"{energy_nj / 1_000_000.0:.2f} mJ"
+    return f"{energy_nj / 1_000_000_000.0:.2f} J"

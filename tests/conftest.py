@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use small geometries and sample counts: the goal of the
+unit/integration tests is behavioural correctness; the paper-scale numbers
+are produced by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.substrate import CODICSubstrate
+from repro.dram.chip import DRAMChip, VENDOR_PROFILES
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.module import DRAMModule
+from repro.dram.population import ChipPopulation, PAPER_MODULE_SPECS
+
+
+#: A small chip geometry used throughout the tests (8 banks x 64 rows x 1 KB).
+SMALL_GEOMETRY = DRAMGeometry(banks=8, rows_per_bank=64, row_bits=8192, device_width=8)
+
+
+@pytest.fixture
+def small_geometry() -> DRAMGeometry:
+    """Small chip geometry shared by most DRAM-level tests."""
+    return SMALL_GEOMETRY
+
+
+@pytest.fixture
+def chip(small_geometry: DRAMGeometry) -> DRAMChip:
+    """One small simulated chip."""
+    return DRAMChip(
+        chip_id="test-chip",
+        geometry=small_geometry,
+        vendor=VENDOR_PROFILES["A"],
+        seed=1234,
+    )
+
+
+@pytest.fixture
+def module(small_geometry: DRAMGeometry) -> DRAMModule:
+    """One small simulated module (8 chips, 1 rank)."""
+    return DRAMModule(
+        module_id="test-module",
+        chip_geometry=small_geometry,
+        chips_per_rank=8,
+        ranks=1,
+        seed=99,
+    )
+
+
+@pytest.fixture
+def second_module(small_geometry: DRAMGeometry) -> DRAMModule:
+    """A second module with a different seed (a physically different device)."""
+    return DRAMModule(
+        module_id="other-module",
+        chip_geometry=small_geometry,
+        chips_per_rank=8,
+        ranks=1,
+        seed=12345,
+    )
+
+
+@pytest.fixture
+def substrate() -> CODICSubstrate:
+    """A CODIC substrate with the default variant library."""
+    return CODICSubstrate()
+
+
+@pytest.fixture
+def small_population() -> ChipPopulation:
+    """A reduced chip population (first four Table 12 modules, small rows)."""
+    return ChipPopulation(
+        specs=PAPER_MODULE_SPECS[:4], seed=77, rows_per_bank_limit=128
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded NumPy generator for test-local randomness."""
+    return np.random.default_rng(2024)

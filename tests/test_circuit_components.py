@@ -1,0 +1,195 @@
+"""Tests for circuit components, process variation and the Monte Carlo engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.cell import DRAMCell
+from repro.circuit.components import Bitline, CellCapacitor, CircuitConstants, PrechargeUnit
+from repro.circuit.montecarlo import MonteCarloEngine
+from repro.circuit.process_variation import (
+    STRUCTURAL_SA_OFFSET,
+    ComponentVariation,
+    VariationModel,
+    VariationParameters,
+)
+from repro.circuit.waveform import ControlWaveforms, Waveform, WaveformSet
+from repro.core.variants import standard_variants
+
+
+class TestCircuitConstants:
+    def test_cap_weights_sum_to_one(self):
+        constants = CircuitConstants()
+        assert constants.cell_cap_weight + constants.bitline_cap_weight == pytest.approx(1.0)
+
+    def test_precharge_level_is_half_vdd(self):
+        constants = CircuitConstants()
+        assert constants.vpre == pytest.approx(constants.vdd / 2)
+
+
+class TestComponents:
+    def test_precharge_unit_equalizes(self):
+        constants = CircuitConstants()
+        bitline = Bitline(voltage=1.0)
+        reference = Bitline(voltage=0.0)
+        unit = PrechargeUnit()
+        for _ in range(200):
+            unit.apply(bitline, reference, constants, constants.dt_ns)
+        assert bitline.voltage == pytest.approx(0.5, abs=0.01)
+        assert reference.voltage == pytest.approx(0.5, abs=0.01)
+
+    def test_charge_sharing_conserves_direction(self):
+        constants = CircuitConstants()
+        cell = CellCapacitor(voltage=1.0)
+        bitline = Bitline(voltage=0.5)
+        for _ in range(200):
+            cell.share_charge(bitline, constants, 1.0, constants.dt_ns)
+        # The cell discharges towards the bitline; the bitline rises slightly
+        # (its capacitance is ~6x larger).
+        assert cell.voltage < 1.0
+        assert 0.5 < bitline.voltage < 0.65
+        assert cell.voltage == pytest.approx(bitline.voltage, abs=0.02)
+
+    def test_cell_leak_towards_precharge(self):
+        constants = CircuitConstants()
+        cell = CellCapacitor(voltage=1.0)
+        cell.leak(dt_s=1e6, constants=constants, leakage_factor=1.0)
+        assert cell.voltage == pytest.approx(0.5, abs=0.01)
+
+
+class TestDRAMCell:
+    def test_write_and_read(self):
+        cell = DRAMCell()
+        cell.write(1)
+        assert cell.read_value() == 1
+        cell.write(0)
+        assert cell.read_value() == 0
+
+    def test_invalid_write(self):
+        with pytest.raises(ValueError):
+            DRAMCell().write(2)
+
+    def test_decay_towards_precharge(self):
+        cell = DRAMCell()
+        cell.write(1)
+        cell.decay(seconds=1e6)
+        assert cell.is_near_precharge()
+
+    def test_decay_faster_at_high_temperature(self):
+        hot = DRAMCell()
+        cold = DRAMCell()
+        hot.write(1)
+        cold.write(1)
+        hot.decay(seconds=30.0, temperature_c=85.0)
+        cold.decay(seconds=30.0, temperature_c=30.0)
+        assert abs(hot.voltage - 0.5) < abs(cold.voltage - 0.5)
+
+
+class TestWaveforms:
+    def test_control_waveform_levels(self):
+        waveforms = ControlWaveforms.from_pulses({"wl": (5.0, 10.0)})
+        assert waveforms.level("wl", 0.0) == 0
+        assert waveforms.level("wl", 5.0) == 1
+        assert waveforms.level("wl", 10.0) == 0
+        assert waveforms.active_signals() == ("wl",)
+
+    def test_control_waveform_validation(self):
+        with pytest.raises(ValueError):
+            ControlWaveforms.from_pulses({"wl": (10.0, 5.0)})
+        with pytest.raises(ValueError):
+            ControlWaveforms.from_pulses({"wl": (5.0, 30.0)})
+
+    def test_unknown_signal_level(self):
+        waveforms = ControlWaveforms.from_pulses({})
+        with pytest.raises(KeyError):
+            waveforms.level("bogus", 0.0)
+
+    def test_waveform_crossing_time(self):
+        wave = Waveform(name="v")
+        for t in range(10):
+            wave.append(float(t), t / 10.0)
+        assert wave.crossing_time(0.45, rising=True) == 5.0
+        assert wave.crossing_time(2.0, rising=True) is None
+
+    def test_waveform_set_tracking(self):
+        traces = WaveformSet()
+        traces.track(["a"])
+        traces.record(0.0, {"a": 1.0, "b": 2.0})
+        assert "a" in traces and "b" in traces
+        assert traces["b"].final_value() == 2.0
+
+
+class TestProcessVariation:
+    def test_nominal_offset_is_structural(self):
+        assert ComponentVariation().sa_offset == pytest.approx(STRUCTURAL_SA_OFFSET)
+
+    def test_sigma_scales_with_percent(self):
+        low = VariationParameters(variation_percent=2.0)
+        high = VariationParameters(variation_percent=5.0)
+        assert high.sa_offset_sigma > low.sa_offset_sigma
+
+    def test_scaled_copy(self):
+        base = VariationParameters(variation_percent=4.0)
+        scaled = base.scaled(8.0)
+        assert scaled.variation_percent == 8.0
+        assert scaled.cell_cap_sigma == pytest.approx(base.cell_cap_sigma * 2)
+
+    def test_sampling_reproducible_with_seed(self):
+        a = VariationModel(rng=np.random.default_rng(3)).sample()
+        b = VariationModel(rng=np.random.default_rng(3)).sample()
+        assert a == b
+
+    def test_factors_positive(self):
+        model = VariationModel(
+            parameters=VariationParameters(variation_percent=5.0),
+            rng=np.random.default_rng(0),
+        )
+        for sample in model.sample_many(100):
+            assert sample.cell_cap_factor > 0
+            assert sample.leakage_factor > 0
+            assert sample.wl_drive_factor > 0
+
+    def test_offset_temperature_drift(self):
+        variation = ComponentVariation(sa_offset=0.01, sa_offset_temp_coeff=1e-4)
+        assert variation.sa_offset_at(85.0) > variation.sa_offset_at(30.0)
+
+
+class TestMonteCarlo:
+    def test_flip_rate_monotonic_in_variation(self):
+        engine = MonteCarloEngine(samples=50_000)
+        results = engine.sweep_variation([2.0, 3.0, 4.0, 5.0])
+        rates = [result.flip_rate for result in results]
+        assert rates[0] == 0.0
+        assert rates[-1] > rates[1]
+        assert rates[-1] > 1e-4
+
+    def test_table11_shape_at_paper_scale(self):
+        engine = MonteCarloEngine(samples=100_000)
+        low = engine.run_point(3.0, 30.0)
+        mid = engine.run_point(4.0, 30.0)
+        high = engine.run_point(5.0, 30.0)
+        assert low.flip_percent == pytest.approx(0.0, abs=0.01)
+        assert mid.flip_percent < 0.1
+        assert 0.05 < high.flip_percent < 0.6
+
+    def test_temperature_effect_is_modest(self):
+        engine = MonteCarloEngine(samples=50_000)
+        results = engine.sweep_temperature([30.0, 85.0], variation_percent=4.0)
+        assert all(result.flip_percent < 0.5 for result in results)
+
+    def test_full_simulation_agrees_with_vectorized_path(self):
+        engine = MonteCarloEngine(samples=300, seed=9)
+        waveforms = standard_variants()["CODIC-sigsa"].schedule.to_waveforms()
+        full = engine.run_point_full_simulation(5.0, 30.0, waveforms, samples=300)
+        fast = engine.run_point(5.0, 30.0)
+        # Both paths must agree that flips are rare events (< 2 %).
+        assert full.flip_rate < 0.02
+        assert fast.flip_rate < 0.02
+
+    def test_result_properties(self):
+        engine = MonteCarloEngine(samples=1000)
+        result = engine.run_point(5.0, 30.0)
+        assert result.samples == 1000
+        assert 0.0 <= result.flip_rate <= 1.0
+        assert result.flip_percent == pytest.approx(result.flip_rate * 100.0)

@@ -1,0 +1,198 @@
+"""Tests for the behavioral circuit simulator (the SPICE substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import (
+    CellCircuitSimulator,
+    CircuitConstants,
+    ComponentVariation,
+    VariationModel,
+    VariationParameters,
+)
+from repro.core.variants import standard_variants
+
+VARIANTS = standard_variants()
+
+
+@pytest.fixture
+def simulator() -> CellCircuitSimulator:
+    return CellCircuitSimulator()
+
+
+class TestActivation:
+    def test_restores_one(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-activate"].schedule.to_waveforms(), initial_cell_voltage=1.0
+        )
+        assert result.final_cell_value == 1
+        assert result.final_cell_voltage > 0.9
+
+    def test_restores_zero(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-activate"].schedule.to_waveforms(), initial_cell_voltage=0.0
+        )
+        assert result.final_cell_value == 0
+        assert result.final_cell_voltage < 0.1
+
+    def test_amplification_completes_within_window(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-activate"].schedule.to_waveforms(), initial_cell_voltage=1.0
+        )
+        assert result.amplification_complete_ns is not None
+        assert result.amplification_complete_ns < 25.0
+
+    def test_charge_sharing_raises_bitline_before_sensing(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-activate"].schedule.to_waveforms(),
+            initial_cell_voltage=1.0,
+            record=True,
+        )
+        # Between wl assertion (5 ns) and SA enable (7 ns) the bitline must
+        # have deviated upwards from Vdd/2 but not be fully amplified yet.
+        bitline_at_7ns = result.waveforms["Vbitline"].value_at(6.9)
+        assert 0.5 < bitline_at_7ns < 0.8
+
+
+class TestPrecharge:
+    def test_bitline_driven_to_half_vdd(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-precharge"].schedule.to_waveforms(), initial_cell_voltage=1.0
+        )
+        assert result.final_bitline_voltage == pytest.approx(0.5, abs=0.02)
+
+    def test_cell_untouched(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-precharge"].schedule.to_waveforms(), initial_cell_voltage=1.0
+        )
+        assert result.final_cell_voltage == pytest.approx(1.0, abs=1e-6)
+
+
+class TestCODICSig:
+    @pytest.mark.parametrize("initial", [0.0, 1.0])
+    def test_drives_cell_to_precharge_from_any_value(self, simulator, initial):
+        result = simulator.run(
+            VARIANTS["CODIC-sig"].schedule.to_waveforms(), initial_cell_voltage=initial
+        )
+        assert result.cell_at_precharge
+        assert result.final_cell_voltage == pytest.approx(0.5, abs=0.05)
+
+    def test_sig_opt_reaches_precharge_quickly(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-sig-opt"].schedule.to_waveforms(), initial_cell_voltage=1.0
+        )
+        assert result.cell_at_precharge
+
+    def test_followup_activation_resolves_by_offset_sign(self, simulator):
+        positive = ComponentVariation(sa_offset=0.02)
+        negative = ComponentVariation(sa_offset=-0.02)
+        for variation, expected in ((positive, 1), (negative, 0)):
+            results = simulator.run_sequence(
+                [
+                    VARIANTS["CODIC-sig"].schedule.to_waveforms(),
+                    VARIANTS["CODIC-activate"].schedule.to_waveforms(),
+                ],
+                initial_cell_voltage=1.0,
+                variation=variation,
+            )
+            assert results[-1].final_cell_value == expected
+
+    def test_sig_value_independent_of_initial_content(self, simulator):
+        variation = ComponentVariation(sa_offset=-0.03)
+        values = []
+        for initial in (0.0, 1.0):
+            results = simulator.run_sequence(
+                [
+                    VARIANTS["CODIC-sig"].schedule.to_waveforms(),
+                    VARIANTS["CODIC-activate"].schedule.to_waveforms(),
+                ],
+                initial_cell_voltage=initial,
+                variation=variation,
+            )
+            values.append(results[-1].final_cell_value)
+        assert values[0] == values[1]
+
+
+class TestCODICDet:
+    @pytest.mark.parametrize("initial", [0.0, 0.5, 1.0])
+    def test_det_zero_from_any_initial_value(self, simulator, initial):
+        result = simulator.run(
+            VARIANTS["CODIC-det"].schedule.to_waveforms(), initial_cell_voltage=initial
+        )
+        assert result.final_cell_value == 0
+
+    @pytest.mark.parametrize("initial", [0.0, 0.5, 1.0])
+    def test_det_one_from_any_initial_value(self, simulator, initial):
+        result = simulator.run(
+            VARIANTS["CODIC-det-one"].schedule.to_waveforms(), initial_cell_voltage=initial
+        )
+        assert result.final_cell_value == 1
+
+    def test_det_zero_insensitive_to_process_variation(self, simulator):
+        model = VariationModel(parameters=VariationParameters(variation_percent=5.0))
+        for _ in range(20):
+            result = simulator.run(
+                VARIANTS["CODIC-det"].schedule.to_waveforms(),
+                initial_cell_voltage=1.0,
+                variation=model.sample(),
+                record=False,
+            )
+            assert result.final_cell_value == 0
+
+
+class TestCODICSigSA:
+    def test_nominal_sa_resolves_to_one(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-sigsa"].schedule.to_waveforms(), initial_cell_voltage=0.5
+        )
+        assert result.final_bitline_value == 1
+
+    def test_negative_offset_resolves_to_zero(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-sigsa"].schedule.to_waveforms(),
+            initial_cell_voltage=0.5,
+            variation=ComponentVariation(sa_offset=-0.05),
+        )
+        assert result.final_bitline_value == 0
+
+
+class TestSimulatorMechanics:
+    def test_waveforms_recorded_when_requested(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-activate"].schedule.to_waveforms(),
+            initial_cell_voltage=1.0,
+            record=True,
+        )
+        assert "Vcell" in result.waveforms
+        assert "Vbitline" in result.waveforms
+        assert len(result.waveforms["Vcell"].times_ns) > 100
+
+    def test_waveforms_skipped_when_disabled(self, simulator):
+        result = simulator.run(
+            VARIANTS["CODIC-activate"].schedule.to_waveforms(),
+            initial_cell_voltage=1.0,
+            record=False,
+        )
+        assert result.waveforms.names() == ()
+
+    def test_custom_constants(self):
+        fast = CellCircuitSimulator(constants=CircuitConstants(sense_tau_ns=0.5))
+        slow = CellCircuitSimulator(constants=CircuitConstants(sense_tau_ns=3.0))
+        fast_result = fast.run(
+            VARIANTS["CODIC-activate"].schedule.to_waveforms(), 1.0
+        )
+        slow_result = slow.run(
+            VARIANTS["CODIC-activate"].schedule.to_waveforms(), 1.0
+        )
+        assert fast_result.amplification_complete_ns < slow_result.amplification_complete_ns
+
+    def test_simulate_dram_cell_updates_state(self, simulator):
+        from repro.circuit.cell import DRAMCell
+
+        cell = DRAMCell()
+        cell.write(1)
+        simulator.simulate_dram_cell(
+            VARIANTS["CODIC-det"].schedule.to_waveforms(), cell
+        )
+        assert cell.read_value() == 0

@@ -1,0 +1,170 @@
+"""Tests for the cold-boot attack model, destruction mechanisms and Table 6."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coldboot.attack import ColdBootAttack
+from repro.coldboot.ciphers import AES128, CHACHA8, codic_self_destruction_overheads, table6_comparison
+from repro.coldboot.evaluation import DestructionSweep, FIGURE7_CAPACITIES
+from repro.coldboot.mechanisms import (
+    CODICSelfDestruction,
+    LISACloneDestruction,
+    RowCloneDestruction,
+    TCGZeroing,
+    all_mechanisms,
+)
+from repro.core.variants import standard_variants
+from repro.dram.geometry import ModuleGeometry
+from repro.dram.module import SegmentAddress
+from repro.utils.units import GB, MB
+
+
+class TestDestructionMechanisms:
+    @pytest.fixture(scope="class")
+    def geometry_64mb(self) -> ModuleGeometry:
+        return ModuleGeometry.for_capacity(64 * MB)
+
+    def test_codic_64mb_matches_paper(self, geometry_64mb):
+        result = CODICSelfDestruction().destroy(geometry_64mb)
+        # Paper Figure 7: ~60 us for a 64 MB module.
+        assert result.destruction_time_ns == pytest.approx(60_000.0, rel=0.15)
+
+    def test_rowclone_roughly_2x_codic(self, geometry_64mb):
+        codic = CODICSelfDestruction().destroy(geometry_64mb)
+        rowclone = RowCloneDestruction().destroy(geometry_64mb)
+        ratio = rowclone.destruction_time_ns / codic.destruction_time_ns
+        assert 1.8 <= ratio <= 2.3
+
+    def test_lisa_slower_than_rowclone(self, geometry_64mb):
+        rowclone = RowCloneDestruction().destroy(geometry_64mb)
+        lisa = LISACloneDestruction().destroy(geometry_64mb)
+        assert lisa.destruction_time_ns > rowclone.destruction_time_ns
+
+    def test_tcg_orders_of_magnitude_slower(self, geometry_64mb):
+        codic = CODICSelfDestruction().destroy(geometry_64mb)
+        tcg = TCGZeroing().destroy(geometry_64mb)
+        assert tcg.destruction_time_ns / codic.destruction_time_ns > 100
+
+    def test_destruction_time_scales_linearly_with_capacity(self):
+        mechanism = CODICSelfDestruction()
+        small = mechanism.destroy(ModuleGeometry.for_capacity(1 * GB))
+        large = mechanism.destroy(ModuleGeometry.for_capacity(4 * GB))
+        assert large.destruction_time_ns / small.destruction_time_ns == pytest.approx(4.0, rel=0.05)
+
+    def test_rows_destroyed_counts_full_module(self, geometry_64mb):
+        result = CODICSelfDestruction().destroy(geometry_64mb)
+        assert result.rows_destroyed == geometry_64mb.total_rows
+
+    def test_all_mechanisms_factory(self):
+        names = [mechanism.name for mechanism in all_mechanisms()]
+        assert names == ["TCG", "LISA-clone", "RowClone", "CODIC"]
+
+
+class TestDestructionSweep:
+    @pytest.fixture(scope="class")
+    def sweep_results(self):
+        return DestructionSweep().run()
+
+    def test_all_capacities_evaluated(self, sweep_results):
+        assert len(sweep_results) == len(FIGURE7_CAPACITIES)
+
+    def test_codic_always_fastest(self, sweep_results):
+        for point in sweep_results:
+            codic = point.result("CODIC").destruction_time_ns
+            for mechanism in ("TCG", "LISA-clone", "RowClone"):
+                assert codic < point.result(mechanism).destruction_time_ns
+
+    def test_8gb_speedups_match_paper_shape(self):
+        point = DestructionSweep().energy_comparison(8 * GB)
+        # Paper: 552.7x / 2.5x / 2.0x faster than TCG / LISA-clone / RowClone.
+        assert point.speedup_over("CODIC", "TCG") > 300
+        assert point.speedup_over("CODIC", "LISA-clone") == pytest.approx(2.5, rel=0.15)
+        assert point.speedup_over("CODIC", "RowClone") == pytest.approx(2.0, rel=0.15)
+
+    def test_8gb_energy_ratios_match_paper_shape(self):
+        point = DestructionSweep().energy_comparison(8 * GB)
+        # Paper: 41.7x / 2.5x / 1.7x less energy than TCG / LISA-clone / RowClone.
+        assert point.energy_ratio_over("CODIC", "TCG") > 20
+        assert point.energy_ratio_over("CODIC", "LISA-clone") == pytest.approx(2.5, rel=0.2)
+        assert point.energy_ratio_over("CODIC", "RowClone") == pytest.approx(1.7, rel=0.2)
+
+    def test_unknown_mechanism_lookup(self, sweep_results):
+        with pytest.raises(KeyError):
+            sweep_results[0].result("bogus")
+
+    def test_capacity_labels(self, sweep_results):
+        assert sweep_results[0].capacity_label == "64MB"
+        assert sweep_results[-1].capacity_label == "64GB"
+
+
+class TestColdBootAttack:
+    def test_unprotected_data_recovered_after_short_power_off(self, module, rng):
+        attack = ColdBootAttack(module, power_off_seconds=0.5)
+        segment = SegmentAddress(0, 1)
+        secret = attack.plant_secret(segment)
+        outcome = attack.execute(segment, secret)
+        assert outcome.recovery_rate > 0.9
+        assert outcome.succeeded()
+
+    def test_self_destruction_defeats_attack(self, module, rng):
+        attack = ColdBootAttack(module, power_off_seconds=0.5)
+        segment = SegmentAddress(0, 2)
+        secret = attack.plant_secret(segment)
+        # Power-on self-destruction runs before the attacker can read.
+        module.execute_codic(standard_variants()["CODIC-det"].schedule, segment)
+        outcome = attack.execute(segment, secret, defence_ran=True)
+        assert outcome.recovery_rate < 0.6  # only chance-level matches remain
+        assert not outcome.succeeded()
+
+    def test_longer_power_off_loses_more_data(self, module):
+        segment = SegmentAddress(0, 3)
+        short_attack = ColdBootAttack(module, power_off_seconds=1.0, seed=1)
+        secret = short_attack.plant_secret(segment)
+        short = short_attack.execute(segment, secret)
+
+        long_attack = ColdBootAttack(module, power_off_seconds=3600.0, seed=1)
+        long_attack.module.write_segment(segment, secret)
+        long = long_attack.execute(segment, secret)
+        assert long.bits_recovered <= short.bits_recovered
+
+    def test_invalid_power_off(self, module):
+        with pytest.raises(ValueError):
+            ColdBootAttack(module, power_off_seconds=-1.0)
+
+    def test_secret_shape_validated(self, module):
+        attack = ColdBootAttack(module)
+        with pytest.raises(ValueError):
+            attack.execute(SegmentAddress(0, 0), np.zeros(10, dtype=np.uint8))
+
+
+class TestTable6:
+    def test_codic_has_zero_runtime_overhead(self):
+        codic = codic_self_destruction_overheads()
+        assert codic.runtime_performance_overhead == 0.0
+        assert codic.runtime_power_overhead == 0.0
+        assert codic.processor_area_overhead == 0.0
+        assert codic.dram_area_overhead == pytest.approx(0.0112, rel=1e-6)
+
+    def test_cipher_overheads_match_paper(self):
+        assert CHACHA8.power_overhead_peak == pytest.approx(0.17)
+        assert AES128.power_overhead_peak == pytest.approx(0.12)
+        assert CHACHA8.processor_area_overhead == pytest.approx(0.009)
+        assert AES128.processor_area_overhead == pytest.approx(0.013)
+
+    def test_cipher_latency_hidden_up_to_16_row_hits(self):
+        assert CHACHA8.runtime_performance_overhead(consecutive_row_hits=16) == 0.0
+        assert CHACHA8.runtime_performance_overhead(consecutive_row_hits=40) > 0.0
+
+    def test_table6_has_three_rows(self):
+        rows = table6_comparison()
+        assert [row.mechanism for row in rows] == [
+            "CODIC Self-Destruction",
+            "ChaCha-8",
+            "AES-128",
+        ]
+
+    def test_percentage_conversion(self):
+        row = table6_comparison()[1]
+        assert row.as_percentages()["runtime_power_%"] == pytest.approx(17.0)

@@ -1,0 +1,111 @@
+"""Tests for the configurable delay element model and the substrate facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.delay_element import (
+    AREA_OVERHEAD_PER_SIGNAL_FRACTION,
+    BUFFER_STAGES,
+    ConfigurableDelayElement,
+    total_cost,
+)
+from repro.core.substrate import CODICSubstrate
+from repro.core.variants import VariantFunction
+
+
+class TestDelayElement:
+    def test_delay_matches_tap(self):
+        element = ConfigurableDelayElement(signal="sense_n", tap=7)
+        assert element.delay_ns == 7.0
+
+    def test_tap_bounds(self):
+        ConfigurableDelayElement(signal="wl", tap=BUFFER_STAGES)
+        with pytest.raises(ValueError):
+            ConfigurableDelayElement(signal="wl", tap=BUFFER_STAGES + 1)
+        with pytest.raises(ValueError):
+            ConfigurableDelayElement(signal="wl", tap=-1)
+
+    def test_unknown_signal(self):
+        with pytest.raises(ValueError):
+            ConfigurableDelayElement(signal="bogus", tap=0)
+
+    def test_select_returns_new_tap(self):
+        element = ConfigurableDelayElement(signal="EQ", tap=2)
+        retargeted = element.select(9)
+        assert retargeted.delay_ns == 9.0
+        assert element.delay_ns == 2.0
+
+    def test_coarsening_reduces_area(self):
+        fine = ConfigurableDelayElement(signal="wl", tap=0, coarsening=1)
+        coarse = ConfigurableDelayElement(signal="wl", tap=0, coarsening=2)
+        assert coarse.area_overhead_fraction() < fine.area_overhead_fraction()
+        assert coarse.stage_count < fine.stage_count
+
+
+class TestSubstrateCost:
+    def test_paper_area_overhead(self):
+        cost = total_cost()
+        # Section 4.2.1: 0.28 % per signal, 1.12 % for all four signals.
+        assert cost.area_overhead_percent == pytest.approx(1.12, rel=1e-6)
+        assert AREA_OVERHEAD_PER_SIGNAL_FRACTION == pytest.approx(0.0028)
+
+    def test_energy_negligible_vs_activation(self):
+        cost = total_cost()
+        assert cost.energy_per_command_fj < 500.0
+        assert cost.energy_relative_to_activation < 1e-4
+
+    def test_no_added_ddrx_delay(self):
+        # The 2-to-1 mux delay is compensated by buffer sizing.
+        assert total_cost().added_ddrx_delay_ns == 0.0
+
+    def test_coarsening_halves_area(self):
+        assert total_cost(coarsening=2).area_overhead_fraction == pytest.approx(
+            total_cost().area_overhead_fraction / 2
+        )
+
+
+class TestSubstrateFacade:
+    def test_configure_by_name_and_read_back(self, substrate: CODICSubstrate):
+        substrate.configure("CODIC-sig")
+        schedule = substrate.configured_schedule()
+        assert schedule.driven_signals() == ("wl", "EQ")
+        assert substrate.configured_function() is VariantFunction.SIGNATURE
+
+    def test_configure_returns_mrs_commands(self, substrate: CODICSubstrate):
+        commands = substrate.configure("CODIC-det")
+        assert len(commands) == 4
+
+    def test_unknown_variant_raises(self, substrate: CODICSubstrate):
+        with pytest.raises(KeyError):
+            substrate.configure("CODIC-unknown")
+
+    def test_delay_elements_follow_schedule(self, substrate: CODICSubstrate):
+        substrate.configure("CODIC-det")
+        elements = substrate.delay_elements()
+        assert elements["sense_n"].tap == 7
+        assert elements["sense_p"].tap == 14
+        assert elements["EQ"].tap == 0  # not driven
+
+    def test_simulate_variant_on_cell_sig(self, substrate: CODICSubstrate):
+        result = substrate.simulate_variant_on_cell("CODIC-sig", initial_cell_voltage=1.0)
+        assert result.cell_at_precharge
+
+    def test_simulate_variant_on_cell_det(self, substrate: CODICSubstrate):
+        result = substrate.simulate_variant_on_cell("CODIC-det", initial_cell_voltage=1.0)
+        assert result.final_cell_value == 0
+
+    def test_variant_latency_lookup(self, substrate: CODICSubstrate):
+        assert substrate.variant_latency_ns("CODIC-sig-opt") == 13.0
+
+    def test_execute_on_chip_destroys_row(self, substrate: CODICSubstrate, chip):
+        import numpy as np
+
+        data = np.ones(chip.geometry.row_bits, dtype=np.uint8)
+        chip.write_row(0, 3, data)
+        substrate.configure("CODIC-det")
+        substrate.execute_on_chip(chip, bank=0, row=3)
+        assert not np.any(chip.read_row(0, 3))
+
+    def test_hardware_cost_exposed(self, substrate: CODICSubstrate):
+        assert substrate.hardware_cost().area_overhead_percent == pytest.approx(1.12)

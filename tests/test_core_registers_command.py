@@ -1,0 +1,118 @@
+"""Tests for CODIC mode registers, MRS programming and command encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.command import CODICCommand, CODICCommandEncoder
+from repro.core.mode_registers import (
+    MODE_REGISTER_MAX_VALUE,
+    ModeRegister,
+    ModeRegisterFile,
+    MRSCommand,
+)
+from repro.core.signals import SignalSchedule
+from repro.core.variants import standard_variants
+
+
+class TestModeRegister:
+    def test_write_read(self):
+        register = ModeRegister(name="MR0")
+        register.write(512)
+        assert register.read() == 512
+
+    def test_out_of_range_rejected(self):
+        register = ModeRegister(name="MR0")
+        with pytest.raises(ValueError):
+            register.write(MODE_REGISTER_MAX_VALUE + 1)
+        with pytest.raises(ValueError):
+            register.write(-1)
+
+
+class TestMRSCommand:
+    def test_valid(self):
+        command = MRSCommand(signal="wl", value=100)
+        assert command.register_set == 0
+
+    def test_unknown_signal(self):
+        with pytest.raises(ValueError):
+            MRSCommand(signal="nope", value=1)
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            MRSCommand(signal="wl", value=2048)
+
+
+class TestModeRegisterFile:
+    def test_program_and_read_back_schedule(self):
+        registers = ModeRegisterFile()
+        schedule = standard_variants()["CODIC-sig"].schedule
+        commands = registers.program_schedule(schedule)
+        assert len(commands) == 4  # one MRS per signal register
+        assert registers.read_schedule() == schedule
+
+    def test_multiple_register_sets_independent(self):
+        registers = ModeRegisterFile(register_sets=2)
+        sig = standard_variants()["CODIC-sig"].schedule
+        det = standard_variants()["CODIC-det"].schedule
+        registers.program_schedule(sig, register_set=0)
+        registers.program_schedule(det, register_set=1)
+        assert registers.read_schedule(0) == sig
+        assert registers.read_schedule(1) == det
+
+    def test_missing_register_set_rejected(self):
+        registers = ModeRegisterFile()
+        with pytest.raises(IndexError):
+            registers.apply_mrs(MRSCommand(signal="wl", value=1, register_set=3))
+        with pytest.raises(IndexError):
+            registers.read_schedule(register_set=3)
+
+    def test_initial_state_is_noop(self):
+        registers = ModeRegisterFile()
+        assert registers.read_schedule() == SignalSchedule(pulses={})
+
+    def test_zero_register_sets_rejected(self):
+        with pytest.raises(ValueError):
+            ModeRegisterFile(register_sets=0)
+
+    def test_raw_values(self):
+        registers = ModeRegisterFile()
+        registers.program_schedule(standard_variants()["CODIC-precharge"].schedule)
+        raw = registers.raw_values()
+        assert raw["EQ"] == (5 << 5) | 11
+        assert raw["wl"] == 0
+
+
+class TestCommandEncoding:
+    def test_roundtrip(self):
+        encoder = CODICCommandEncoder()
+        command = CODICCommand(bank=5, row=1234, register_set=1)
+        assert encoder.decode(encoder.encode(command)) == command
+
+    def test_roundtrip_extremes(self):
+        encoder = CODICCommandEncoder()
+        command = CODICCommand(bank=7, row=(1 << 16) - 1, register_set=3)
+        assert encoder.decode(encoder.encode(command)) == command
+
+    def test_row_overflow_rejected(self):
+        encoder = CODICCommandEncoder(row_bits=8)
+        with pytest.raises(ValueError):
+            encoder.encode(CODICCommand(bank=0, row=256))
+
+    def test_bank_overflow_rejected(self):
+        encoder = CODICCommandEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode(CODICCommand(bank=8, row=0))
+
+    def test_register_set_overflow_rejected(self):
+        encoder = CODICCommandEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode(CODICCommand(bank=0, row=0, register_set=4))
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            CODICCommand(bank=-1, row=0)
+
+    def test_decode_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CODICCommandEncoder().decode(-5)

@@ -1,0 +1,114 @@
+"""Tests for repro.core.signals (pulses, schedules, register encoding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.signals import (
+    CONTROL_SIGNALS,
+    SIGNAL_WINDOW_NS,
+    SignalPulse,
+    SignalSchedule,
+    iter_valid_pulses,
+)
+
+
+class TestSignalPulse:
+    def test_valid_pulse(self):
+        pulse = SignalPulse(start_ns=5, end_ns=22)
+        assert pulse.duration_ns == 17
+        assert pulse.as_tuple() == (5.0, 22.0)
+
+    def test_start_after_end_rejected(self):
+        with pytest.raises(ValueError):
+            SignalPulse(start_ns=10, end_ns=5)
+
+    def test_equal_start_end_rejected(self):
+        with pytest.raises(ValueError):
+            SignalPulse(start_ns=5, end_ns=5)
+
+    def test_outside_window_rejected(self):
+        with pytest.raises(ValueError):
+            SignalPulse(start_ns=5, end_ns=30)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SignalPulse(start_ns=-1, end_ns=5)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            SignalPulse(start_ns=1.5, end_ns=5)  # type: ignore[arg-type]
+
+
+class TestSignalSchedule:
+    def test_from_timings_table1_activation(self):
+        schedule = SignalSchedule.from_timings(
+            {"wl": (5, 22), "sense_p": (7, 22), "sense_n": (7, 22)}
+        )
+        assert schedule.driven_signals() == ("wl", "sense_p", "sense_n")
+        assert schedule.pulse("EQ") is None
+        assert schedule.last_deassert_ns() == 22
+        assert schedule.first_assert_ns() == 5
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValueError):
+            SignalSchedule.from_timings({"bogus": (1, 2)})
+
+    def test_assert_order(self):
+        schedule = SignalSchedule.from_timings(
+            {"sense_n": (7, 22), "wl": (5, 22), "sense_p": (14, 22)}
+        )
+        assert schedule.assert_order() == ("wl", "sense_n", "sense_p")
+
+    def test_empty_schedule(self):
+        schedule = SignalSchedule(pulses={})
+        assert schedule.driven_signals() == ()
+        assert schedule.last_deassert_ns() == 0
+        assert schedule.first_assert_ns() is None
+        assert schedule.describe() == "(no signals driven)"
+
+    def test_describe_matches_table1_format(self):
+        schedule = SignalSchedule.from_timings({"wl": (5, 22), "EQ": (7, 22)})
+        assert schedule.describe() == "wl [5↑,22↓] EQ [7↑,22↓]"
+
+    def test_register_roundtrip(self):
+        schedule = SignalSchedule.from_timings(
+            {"wl": (5, 22), "EQ": (7, 22), "sense_n": (1, 24)}
+        )
+        values = schedule.to_register_values()
+        decoded = SignalSchedule.from_register_values(values)
+        assert decoded == schedule
+
+    def test_register_values_fit_ten_bits(self):
+        schedule = SignalSchedule.from_timings({signal: (1, 24) for signal in CONTROL_SIGNALS})
+        for value in schedule.to_register_values().values():
+            assert 0 <= value < 1024
+
+    def test_undriven_signal_encodes_to_zero(self):
+        schedule = SignalSchedule.from_timings({"EQ": (5, 11)})
+        values = schedule.to_register_values()
+        assert values["wl"] == 0
+        assert values["sense_p"] == 0
+
+    def test_to_waveforms_levels(self):
+        schedule = SignalSchedule.from_timings({"wl": (5, 22)})
+        waveforms = schedule.to_waveforms()
+        assert waveforms.level("wl", 4.9) == 0
+        assert waveforms.level("wl", 5.0) == 1
+        assert waveforms.level("wl", 21.9) == 1
+        assert waveforms.level("wl", 22.0) == 0
+        assert waveforms.level("EQ", 10.0) == 0
+
+
+class TestPulseEnumeration:
+    def test_pulse_count_is_300(self):
+        pulses = list(iter_valid_pulses())
+        assert len(pulses) == 300
+
+    def test_all_pulses_within_window(self):
+        for pulse in iter_valid_pulses():
+            assert 0 <= pulse.start_ns < pulse.end_ns <= SIGNAL_WINDOW_NS - 1
+
+    def test_pulses_unique(self):
+        pulses = [(p.start_ns, p.end_ns) for p in iter_valid_pulses()]
+        assert len(set(pulses)) == len(pulses)

@@ -1,0 +1,163 @@
+"""Tests for repro.core.variants (variant library, classification, design space)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.signals import SignalSchedule
+from repro.core.variants import (
+    CODICVariant,
+    VariantFunction,
+    VariantLibrary,
+    classify_schedule,
+    count_pulses_per_signal,
+    count_total_variants,
+    estimate_latency_ns,
+    iter_variant_schedules,
+    standard_variants,
+)
+
+
+class TestStandardVariants:
+    def test_all_paper_variants_present(self):
+        variants = standard_variants()
+        for name in (
+            "CODIC-activate",
+            "CODIC-precharge",
+            "CODIC-sig",
+            "CODIC-sig-opt",
+            "CODIC-det",
+            "CODIC-det-one",
+            "CODIC-sigsa",
+        ):
+            assert name in variants
+
+    def test_table1_codic_sig_timings(self):
+        sig = standard_variants()["CODIC-sig"]
+        assert sig.schedule.pulse("wl").as_tuple() == (5.0, 22.0)
+        assert sig.schedule.pulse("EQ").as_tuple() == (7.0, 22.0)
+        assert sig.schedule.pulse("sense_p") is None
+
+    def test_table1_codic_det_timings(self):
+        det = standard_variants()["CODIC-det"]
+        assert det.schedule.pulse("sense_n").start_ns == 7
+        assert det.schedule.pulse("sense_p").start_ns == 14
+
+    def test_functions_match_paper_semantics(self):
+        variants = standard_variants()
+        assert variants["CODIC-activate"].function is VariantFunction.ACTIVATE
+        assert variants["CODIC-precharge"].function is VariantFunction.PRECHARGE
+        assert variants["CODIC-sig"].function is VariantFunction.SIGNATURE
+        assert variants["CODIC-det"].function is VariantFunction.DETERMINISTIC_ZERO
+        assert variants["CODIC-det-one"].function is VariantFunction.DETERMINISTIC_ONE
+        assert variants["CODIC-sigsa"].function is VariantFunction.SIGNATURE_SA
+
+    def test_sig_requires_follow_up_activation(self):
+        variants = standard_variants()
+        assert variants["CODIC-sig"].requires_follow_up_activation
+        assert not variants["CODIC-det"].requires_follow_up_activation
+
+
+class TestLatencyModel:
+    def test_table2_latencies(self):
+        variants = standard_variants()
+        assert variants["CODIC-activate"].latency_ns == 35.0
+        assert variants["CODIC-precharge"].latency_ns == 13.0
+        assert variants["CODIC-sig"].latency_ns == 35.0
+        assert variants["CODIC-sig-opt"].latency_ns == 13.0
+        assert variants["CODIC-det"].latency_ns == 35.0
+
+    def test_empty_schedule_zero_latency(self):
+        assert estimate_latency_ns(SignalSchedule(pulses={})) == 0.0
+
+
+class TestClassification:
+    def test_noop(self):
+        assert classify_schedule(SignalSchedule(pulses={})) is VariantFunction.NOOP
+
+    def test_precharge_only_eq(self):
+        schedule = SignalSchedule.from_timings({"EQ": (3, 9)})
+        assert classify_schedule(schedule) is VariantFunction.PRECHARGE
+
+    def test_signature_requires_eq_after_wl(self):
+        good = SignalSchedule.from_timings({"wl": (4, 20), "EQ": (8, 20)})
+        assert classify_schedule(good) is VariantFunction.SIGNATURE
+        bad = SignalSchedule.from_timings({"wl": (8, 20), "EQ": (4, 20)})
+        assert classify_schedule(bad) is VariantFunction.OTHER
+
+    def test_alternative_sig_timings_from_paper(self):
+        # Section 4.1.1: raising wl at 4 ns and EQ at 8 ns performs the same
+        # function as the default CODIC-sig timings.
+        schedule = SignalSchedule.from_timings({"wl": (4, 22), "EQ": (8, 22)})
+        assert classify_schedule(schedule) is VariantFunction.SIGNATURE
+
+    def test_deterministic_direction_from_sa_order(self):
+        zero = SignalSchedule.from_timings(
+            {"wl": (5, 22), "sense_n": (7, 22), "sense_p": (14, 22)}
+        )
+        one = SignalSchedule.from_timings(
+            {"wl": (5, 22), "sense_p": (7, 22), "sense_n": (14, 22)}
+        )
+        assert classify_schedule(zero) is VariantFunction.DETERMINISTIC_ZERO
+        assert classify_schedule(one) is VariantFunction.DETERMINISTIC_ONE
+
+    def test_destructive_functions_flagged(self):
+        assert VariantFunction.SIGNATURE.destroys_row_contents
+        assert VariantFunction.DETERMINISTIC_ZERO.destroys_row_contents
+        assert not VariantFunction.ACTIVATE.destroys_row_contents
+        assert not VariantFunction.PRECHARGE.destroys_row_contents
+
+
+class TestDesignSpace:
+    def test_pulses_per_signal_is_300(self):
+        assert count_pulses_per_signal() == 300
+
+    def test_total_variants_is_300_to_the_4(self):
+        assert count_total_variants() == 300 ** 4
+
+    def test_iter_variant_schedules_limit(self):
+        schedules = list(iter_variant_schedules(signals=("wl", "EQ"), limit=50))
+        assert len(schedules) == 50
+        assert all(set(s.driven_signals()) <= {"wl", "EQ"} for s in schedules)
+
+    def test_two_signal_space_size(self):
+        # Exhaustive enumeration is feasible for a single signal.
+        schedules = list(iter_variant_schedules(signals=("wl",)))
+        assert len(schedules) == 300
+
+
+class TestVariantLibrary:
+    def test_prepopulated(self):
+        library = VariantLibrary()
+        assert len(library) >= 7
+        assert "CODIC-sig" in library
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            VariantLibrary().get("nope")
+
+    def test_register_duplicate_rejected(self):
+        library = VariantLibrary()
+        variant = library.get("CODIC-sig")
+        with pytest.raises(ValueError):
+            library.register(variant)
+        library.register(variant, replace=True)  # replace allowed
+
+    def test_define_classifies_and_registers(self):
+        library = VariantLibrary()
+        variant = library.define(
+            "my-sig", "custom signature", {"wl": (3, 20), "EQ": (6, 20)}
+        )
+        assert variant.function is VariantFunction.SIGNATURE
+        assert library.get("my-sig") is variant
+
+    def test_by_function(self):
+        library = VariantLibrary()
+        signatures = library.by_function(VariantFunction.SIGNATURE)
+        assert {v.name for v in signatures} >= {"CODIC-sig", "CODIC-sig-opt"}
+
+    def test_iteration_and_names(self):
+        library = VariantLibrary()
+        assert sorted(v.name for v in library) == library.names()

@@ -1,0 +1,143 @@
+"""Tests for the bank/rank state machines and JEDEC timing enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import CommandType, DRAMCommand
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR3_1600_11_11_11
+
+TIMING = DDR3_1600_11_11_11
+
+
+class TestCommands:
+    def test_command_classification(self):
+        assert CommandType.ACTIVATE.opens_row
+        assert CommandType.READ.is_column_command
+        assert CommandType.CODIC.is_row_command
+        assert not CommandType.READ.is_row_command
+
+    def test_dram_command_validation(self):
+        with pytest.raises(ValueError):
+            DRAMCommand(CommandType.READ, bank=-1)
+        command = DRAMCommand(CommandType.READ, bank=1, row=2)
+        other = DRAMCommand(CommandType.WRITE, bank=1, row=9)
+        assert command.same_bank(other)
+
+
+class TestBank:
+    def test_activate_then_read_respects_trcd(self):
+        bank = Bank(timing=TIMING)
+        bank.issue(CommandType.ACTIVATE, 0.0, row=7)
+        assert bank.state is BankState.ACTIVE
+        assert bank.is_open(7)
+        earliest_read = bank.earliest_issue_time(CommandType.READ, 0.0)
+        assert earliest_read == pytest.approx(TIMING.tRCD_ns)
+
+    def test_read_without_open_row_rejected(self):
+        bank = Bank(timing=TIMING)
+        with pytest.raises(ValueError):
+            bank.earliest_issue_time(CommandType.READ, 0.0)
+
+    def test_double_activate_rejected(self):
+        bank = Bank(timing=TIMING)
+        bank.issue(CommandType.ACTIVATE, 0.0, row=1)
+        with pytest.raises(ValueError):
+            bank.earliest_issue_time(CommandType.ACTIVATE, 100.0)
+
+    def test_precharge_respects_tras(self):
+        bank = Bank(timing=TIMING)
+        bank.issue(CommandType.ACTIVATE, 0.0, row=1)
+        assert bank.earliest_issue_time(CommandType.PRECHARGE, 0.0) == pytest.approx(
+            TIMING.tRAS_ns
+        )
+
+    def test_activate_to_activate_respects_trc(self):
+        bank = Bank(timing=TIMING)
+        bank.issue(CommandType.ACTIVATE, 0.0, row=1)
+        bank.issue(CommandType.PRECHARGE, TIMING.tRAS_ns)
+        earliest = bank.earliest_issue_time(CommandType.ACTIVATE, 0.0)
+        assert earliest >= TIMING.tRC_ns - 1e-9
+
+    def test_timing_violation_raises(self):
+        bank = Bank(timing=TIMING)
+        bank.issue(CommandType.ACTIVATE, 0.0, row=1)
+        with pytest.raises(ValueError):
+            bank.issue(CommandType.READ, 1.0)  # before tRCD
+
+    def test_write_recovery_before_precharge(self):
+        bank = Bank(timing=TIMING)
+        bank.issue(CommandType.ACTIVATE, 0.0, row=1)
+        data_end = bank.issue(CommandType.WRITE, TIMING.tRCD_ns)
+        earliest_pre = bank.earliest_issue_time(CommandType.PRECHARGE, 0.0)
+        assert earliest_pre >= data_end + TIMING.tWR_ns - 1e-9
+
+    def test_codic_leaves_bank_precharged(self):
+        bank = Bank(timing=TIMING)
+        completion = bank.issue(CommandType.CODIC, 0.0, row=4)
+        assert bank.state is BankState.IDLE
+        assert completion == pytest.approx(TIMING.tRAS_ns)
+        assert bank.earliest_issue_time(CommandType.ACTIVATE, 0.0) >= completion + TIMING.tRP_ns - 1e-9
+
+    def test_rowclone_occupies_two_row_cycles(self):
+        bank = Bank(timing=TIMING)
+        completion = bank.issue(CommandType.ROWCLONE_COPY, 0.0, row=4)
+        assert completion == pytest.approx(2 * TIMING.tRAS_ns)
+
+    def test_refresh_blocks_activates_for_trfc(self):
+        bank = Bank(timing=TIMING)
+        bank.issue(CommandType.REFRESH, 0.0)
+        assert bank.earliest_issue_time(CommandType.ACTIVATE, 0.0) >= TIMING.tRFC_ns
+
+    def test_read_with_autoprecharge_closes_row(self):
+        bank = Bank(timing=TIMING)
+        bank.issue(CommandType.ACTIVATE, 0.0, row=1)
+        bank.issue(CommandType.READ_AP, TIMING.tRCD_ns)
+        assert bank.state is BankState.IDLE
+
+
+class TestRank:
+    def test_trrd_between_banks(self):
+        rank = Rank(timing=TIMING, num_banks=8)
+        rank.issue(CommandType.ACTIVATE, 0, 0.0, row=1)
+        earliest = rank.earliest_issue_time(CommandType.ACTIVATE, 1, 0.0)
+        assert earliest == pytest.approx(TIMING.tRRD_ns)
+
+    def test_tfaw_limits_burst_of_activations(self):
+        rank = Rank(timing=TIMING, num_banks=8)
+        issue = 0.0
+        for bank in range(4):
+            issue = rank.earliest_issue_time(CommandType.ACTIVATE, bank, issue)
+            rank.issue(CommandType.ACTIVATE, bank, issue, row=0)
+        fifth = rank.earliest_issue_time(CommandType.ACTIVATE, 4, 0.0)
+        first_issue = 0.0
+        assert fifth >= first_issue + TIMING.tFAW_ns - 1e-9
+
+    def test_codic_commands_subject_to_tfaw(self):
+        rank = Rank(timing=TIMING, num_banks=8)
+        issue = 0.0
+        for bank in range(4):
+            issue = rank.earliest_issue_time(CommandType.CODIC, bank, issue)
+            rank.issue(CommandType.CODIC, bank, issue, row=0)
+        fifth = rank.earliest_issue_time(CommandType.CODIC, 4, 0.0)
+        assert fifth >= TIMING.tFAW_ns - 1e-9
+
+    def test_rank_timing_violation_raises(self):
+        rank = Rank(timing=TIMING, num_banks=8)
+        rank.issue(CommandType.ACTIVATE, 0, 0.0, row=1)
+        with pytest.raises(ValueError):
+            rank.issue(CommandType.ACTIVATE, 1, 1.0, row=1)
+
+    def test_sustained_interval_bounds(self):
+        rank = Rank(timing=TIMING, num_banks=8)
+        interval = rank.sustained_activation_interval_ns(TIMING.tRAS_ns)
+        # With 8 banks, the tFAW constraint (30/4 = 7.5 ns) dominates.
+        assert interval == pytest.approx(TIMING.tFAW_ns / 4.0)
+
+    def test_reads_not_subject_to_tfaw(self):
+        rank = Rank(timing=TIMING, num_banks=2)
+        rank.issue(CommandType.ACTIVATE, 0, 0.0, row=1)
+        earliest_read = rank.earliest_issue_time(CommandType.READ, 0, TIMING.tRCD_ns)
+        assert earliest_read == pytest.approx(TIMING.tRCD_ns)

@@ -1,0 +1,226 @@
+"""Tests for the DRAM chip model: data path, retention, variation, CODIC execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.variants import VariantFunction, standard_variants
+from repro.dram.chip import DRAMChip, RowState, VENDOR_PROFILES
+from repro.dram.geometry import DRAMGeometry
+
+VARIANTS = standard_variants()
+
+
+class TestDataPath:
+    def test_unwritten_row_reads_zero(self, chip):
+        assert not np.any(chip.read_row(0, 0))
+
+    def test_write_read_roundtrip(self, chip, rng):
+        data = rng.integers(0, 2, chip.geometry.row_bits).astype(np.uint8)
+        chip.write_row(2, 10, data)
+        assert np.array_equal(chip.read_row(2, 10), data)
+
+    def test_fill_row(self, chip):
+        chip.fill_row(1, 1, 1)
+        assert np.all(chip.read_row(1, 1) == 1)
+
+    def test_wrong_length_rejected(self, chip):
+        with pytest.raises(ValueError):
+            chip.write_row(0, 0, np.zeros(10, dtype=np.uint8))
+
+    def test_non_binary_rejected(self, chip):
+        with pytest.raises(ValueError):
+            chip.write_row(0, 0, np.full(chip.geometry.row_bits, 2, dtype=np.uint8))
+
+    def test_out_of_range_rejected(self, chip):
+        with pytest.raises(ValueError):
+            chip.read_row(99, 0)
+        with pytest.raises(ValueError):
+            chip.read_row(0, 10_000)
+
+    def test_written_rows_counter(self, chip):
+        assert chip.written_rows == 0
+        chip.fill_row(0, 0, 1)
+        chip.fill_row(0, 1, 1)
+        assert chip.written_rows == 2
+
+
+class TestSignatureBehaviour:
+    def test_weak_cells_deterministic(self, chip):
+        first = chip.sig_weak_cells(0, 5)
+        second = chip.sig_weak_cells(0, 5)
+        assert np.array_equal(first, second)
+
+    def test_weak_cells_differ_across_rows(self, chip):
+        assert not np.array_equal(chip.sig_weak_cells(0, 1), chip.sig_weak_cells(0, 2))
+
+    def test_weak_fraction_in_paper_range(self, chip):
+        # The paper observes 0.01 % - 0.22 % minority cells.
+        counts = [chip.sig_weak_cells(0, row).size for row in range(32)]
+        fraction = np.mean(counts) / chip.geometry.row_bits
+        assert 5e-5 < fraction < 5e-3
+
+    def test_weak_cells_differ_across_chips(self, small_geometry):
+        chip_a = DRAMChip("a", geometry=small_geometry, seed=1)
+        chip_b = DRAMChip("b", geometry=small_geometry, seed=2)
+        a = set(chip_a.sig_weak_cells(0, 0).tolist())
+        b = set(chip_b.sig_weak_cells(0, 0).tolist())
+        union = a | b
+        assert not union or len(a & b) / len(union) < 0.5
+
+    def test_sig_response_mostly_stable(self, chip, rng):
+        base = set(chip.sig_weak_cells(0, 3).tolist())
+        if not base:
+            pytest.skip("row has no weak cells for this seed")
+        observed = set(chip.sig_response(0, 3, rng=rng).tolist())
+        assert len(observed & base) >= 0.9 * len(base)
+
+    def test_signature_values_are_binary(self, chip, rng):
+        values = chip.signature_row_values(0, 4, rng=rng)
+        assert values.dtype == np.uint8
+        assert set(np.unique(values)).issubset({0, 1})
+
+    def test_sigsa_weak_cells_distinct_from_sig(self, chip):
+        sig = set(chip.sig_weak_cells(0, 6).tolist())
+        sigsa = set(chip.sigsa_weak_cells(0, 6).tolist())
+        assert sig != sigsa or not sig
+
+
+class TestReducedTimingFailures:
+    def test_nominal_timing_has_no_failures(self, chip):
+        cells, _ = chip.rcd_failure_profile(0, 0, trcd_ns=13.75)
+        assert cells.size == 0
+        cells, _ = chip.rp_failure_profile(0, 0, trp_ns=13.75)
+        assert cells.size == 0
+
+    def test_reduced_trcd_produces_failures(self, chip):
+        cells, probabilities = chip.rcd_failure_profile(0, 0, trcd_ns=2.5)
+        assert cells.size > 0
+        assert np.all((probabilities > 0) & (probabilities < 1))
+
+    def test_rcd_filter_keeps_reliable_failures(self, chip, rng):
+        filtered = chip.rcd_filtered_response(0, 0, 2.5, reads=100, threshold=90, rng=rng)
+        cells, probabilities = chip.rcd_failure_profile(0, 0, trcd_ns=2.5)
+        reliable = set(cells[probabilities > 0.95].tolist())
+        assert reliable.issubset(set(cells.tolist()))
+        assert set(filtered.tolist()).issubset(set(cells.tolist()))
+
+    def test_rp_failures_shared_across_rows(self, chip):
+        first, _ = chip.rp_failure_profile(0, 1, trp_ns=2.5)
+        second, _ = chip.rp_failure_profile(0, 2, trp_ns=2.5)
+        shared = set(first.tolist()) & set(second.tolist())
+        union = set(first.tolist()) | set(second.tolist())
+        # Column-dominated failures: substantial overlap between rows.
+        assert len(shared) / len(union) > 0.3
+
+    def test_rcd_failures_vary_with_temperature(self, chip, rng):
+        cold = chip.rcd_response(0, 0, 2.5, temperature_c=30.0, rng=np.random.default_rng(0))
+        hot = chip.rcd_response(0, 0, 2.5, temperature_c=85.0, rng=np.random.default_rng(0))
+        assert hot.size >= cold.size  # failures become more likely when hot
+
+
+class TestRetention:
+    def test_no_decay_while_refreshing(self, chip):
+        chip.fill_row(0, 0, 1)
+        chip.advance_time(3600.0)
+        assert np.all(chip.read_row(0, 0) == 1)
+
+    def test_decay_after_refresh_disabled(self, chip, rng):
+        chip.fill_row(0, 0, 1)
+        chip.disable_refresh()
+        chip.advance_time(48 * 3600.0)
+        data = chip.read_row(0, 0, rng=rng)
+        assert np.count_nonzero(data == 0) > 0  # some cells decayed
+
+    def test_temperature_accelerates_decay(self, small_geometry, rng):
+        hot = DRAMChip("hot", geometry=small_geometry, seed=5)
+        cold = DRAMChip("cold", geometry=small_geometry, seed=5)
+        for chip in (hot, cold):
+            chip.fill_row(0, 0, 1)
+            chip.disable_refresh()
+        hot.advance_time(4 * 3600.0, temperature_c=85.0)
+        cold.advance_time(4 * 3600.0, temperature_c=30.0)
+        hot_decayed = np.count_nonzero(hot.read_row(0, 0, rng=rng) == 0)
+        cold_decayed = np.count_nonzero(cold.read_row(0, 0, rng=rng) == 0)
+        assert hot_decayed > cold_decayed
+
+    def test_enable_refresh_resets_clock(self, chip):
+        chip.disable_refresh()
+        chip.advance_time(100.0)
+        chip.enable_refresh()
+        assert chip.seconds_since_refresh == 0.0
+        assert chip.refresh_enabled
+
+    def test_retention_times_positive(self, chip):
+        times = chip.retention_times_s(0, 0)
+        assert np.all(times > 0)
+
+
+class TestCODICExecution:
+    def test_sig_marks_row_pending_then_resolves(self, chip):
+        chip.fill_row(0, 2, 1)
+        function = chip.execute_codic(VARIANTS["CODIC-sig"].schedule, 0, 2)
+        assert function is VariantFunction.SIGNATURE
+        assert chip.row_state(0, 2) is RowState.SIGNATURE_PENDING
+        data = chip.read_row(0, 2)
+        assert chip.row_state(0, 2) is RowState.DATA
+        # The resolved signature is sparse ones over a zero background.
+        assert np.count_nonzero(data) < chip.geometry.row_bits // 10
+
+    def test_det_zero_and_one(self, chip):
+        chip.fill_row(1, 1, 1)
+        chip.execute_codic(VARIANTS["CODIC-det"].schedule, 1, 1)
+        assert not np.any(chip.read_row(1, 1))
+        chip.execute_codic(VARIANTS["CODIC-det-one"].schedule, 1, 1)
+        assert np.all(chip.read_row(1, 1) == 1)
+
+    def test_precharge_preserves_data(self, chip, rng):
+        data = rng.integers(0, 2, chip.geometry.row_bits).astype(np.uint8)
+        chip.write_row(0, 9, data)
+        chip.execute_codic(VARIANTS["CODIC-precharge"].schedule, 0, 9)
+        assert np.array_equal(chip.read_row(0, 9), data)
+
+    def test_activate_preserves_data(self, chip, rng):
+        data = rng.integers(0, 2, chip.geometry.row_bits).astype(np.uint8)
+        chip.write_row(0, 11, data)
+        chip.execute_codic(VARIANTS["CODIC-activate"].schedule, 0, 11)
+        assert np.array_equal(chip.read_row(0, 11), data)
+
+    def test_sigsa_writes_sparse_signature(self, chip):
+        chip.fill_row(2, 2, 1)
+        chip.execute_codic(VARIANTS["CODIC-sigsa"].schedule, 2, 2)
+        data = chip.read_row(2, 2)
+        assert np.count_nonzero(data) < chip.geometry.row_bits // 10
+
+    def test_sig_destroys_previous_content(self, chip):
+        chip.fill_row(3, 3, 1)
+        chip.execute_codic(VARIANTS["CODIC-sig"].schedule, 3, 3)
+        data = chip.read_row(3, 3)
+        # All-ones content must be gone (signature is overwhelmingly zeros).
+        assert np.count_nonzero(data) < chip.geometry.row_bits // 2
+
+    def test_destroy_all_clears_written_rows(self, chip):
+        chip.fill_row(0, 0, 1)
+        chip.fill_row(1, 0, 1)
+        chip.destroy_all(fill_value=0)
+        assert chip.written_rows == 0
+        assert not np.any(chip.read_row(0, 0))
+
+
+class TestVendorProfiles:
+    def test_three_vendors_defined(self):
+        assert set(VENDOR_PROFILES) == {"A", "B", "C"}
+
+    def test_chip_profile_within_vendor_ranges(self, small_geometry):
+        for vendor_name, profile in VENDOR_PROFILES.items():
+            chip = DRAMChip("x", geometry=small_geometry, vendor=profile, seed=3)
+            low, high = profile.sig_weak_fraction_range
+            assert low <= chip.sig_weak_fraction <= high
+            low, high = profile.readable_fraction_range
+            assert low <= chip.readable_fraction <= high
+
+    def test_ddr3l_more_stable_than_ddr3(self, small_geometry):
+        ddr3l = DRAMChip("l", geometry=small_geometry, voltage=1.35, seed=4)
+        ddr3 = DRAMChip("h", geometry=small_geometry, voltage=1.50, seed=4)
+        assert ddr3l.sig_stability > ddr3.sig_stability

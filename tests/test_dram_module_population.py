@@ -1,0 +1,118 @@
+"""Tests for the DRAM module model and the Table 3/12 chip population."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.variants import standard_variants
+from repro.dram.module import DRAMModule, SegmentAddress
+from repro.dram.population import (
+    PAPER_MODULE_SPECS,
+    ChipPopulation,
+    ModuleSpec,
+    paper_population,
+)
+
+VARIANTS = standard_variants()
+
+
+class TestModule:
+    def test_geometry_aggregates_chips(self, module):
+        assert module.segment_bytes == 8192
+        assert module.capacity_bytes == 8 * module.chip_geometry.capacity_bytes
+        assert len(module.chips) == 8
+
+    def test_write_read_segment_roundtrip(self, module, rng):
+        segment = SegmentAddress(bank=0, row=3)
+        data = rng.integers(0, 2, module.segment_bits).astype(np.uint8)
+        module.write_segment(segment, data)
+        assert np.array_equal(module.read_segment(segment), data)
+
+    def test_wrong_segment_size_rejected(self, module):
+        with pytest.raises(ValueError):
+            module.write_segment(SegmentAddress(0, 0), np.zeros(10, dtype=np.uint8))
+
+    def test_random_segment_in_range(self, module, rng):
+        for _ in range(20):
+            segment = module.random_segment(rng)
+            assert 0 <= segment.bank < module.chip_geometry.banks
+            assert 0 <= segment.row < module.chip_geometry.rows_per_bank
+
+    def test_execute_codic_det_zeroes_segment(self, module, rng):
+        segment = SegmentAddress(bank=1, row=5)
+        module.write_segment(segment, np.ones(module.segment_bits, dtype=np.uint8))
+        module.execute_codic(VARIANTS["CODIC-det"].schedule, segment)
+        assert not np.any(module.read_segment(segment))
+
+    def test_sig_response_spans_all_chips(self, module, rng):
+        segment = SegmentAddress(bank=0, row=7)
+        response = module.sig_response(segment, rng=rng)
+        per_chip = module.chip_geometry.row_bits
+        chips_hit = {position // per_chip for position in response}
+        assert len(chips_hit) >= 4  # weak cells spread over most chips
+
+    def test_sig_response_positions_within_segment(self, module, rng):
+        response = module.sig_response(SegmentAddress(0, 1), rng=rng)
+        assert all(0 <= position < module.segment_bits for position in response)
+
+    def test_rcd_response_larger_than_sig_response(self, module, rng):
+        segment = SegmentAddress(0, 2)
+        sig = module.sig_response(segment, rng=rng)
+        rcd = module.rcd_response(segment, trcd_ns=2.5, rng=rng)
+        assert len(rcd) > len(sig)
+
+    def test_invalid_rank_rejected(self, module):
+        with pytest.raises(ValueError):
+            module.rank_chips(rank=2)
+
+
+class TestPopulation:
+    def test_paper_population_has_136_chips(self):
+        assert sum(spec.chips for spec in PAPER_MODULE_SPECS) == 136
+        assert len(PAPER_MODULE_SPECS) == 15
+
+    def test_voltage_split_matches_figure5(self):
+        population = ChipPopulation(specs=PAPER_MODULE_SPECS, rows_per_bank_limit=64)
+        assert population.chips_by_voltage(ddr3l=True) == 72
+        assert population.chips_by_voltage(ddr3l=False) == 64
+
+    def test_vendor_mix(self):
+        vendors = {spec.vendor for spec in PAPER_MODULE_SPECS}
+        assert vendors == {"A", "B", "C"}
+
+    def test_module_lookup(self, small_population):
+        module = small_population.module("M1")
+        assert isinstance(module, DRAMModule)
+        with pytest.raises(KeyError):
+            small_population.module("M99")
+
+    def test_modules_by_voltage_partition(self, small_population):
+        ddr3l = small_population.modules_by_voltage(True)
+        ddr3 = small_population.modules_by_voltage(False)
+        assert len(ddr3l) + len(ddr3) == len(small_population.modules)
+
+    def test_dual_rank_module_spec(self):
+        spec = next(spec for spec in PAPER_MODULE_SPECS if spec.ranks == 2)
+        assert spec.chips_per_rank == 8
+        assert spec.chip_density_gbit == 2
+
+    def test_population_reproducible(self):
+        first = ChipPopulation(specs=PAPER_MODULE_SPECS[:2], seed=5, rows_per_bank_limit=64)
+        second = ChipPopulation(specs=PAPER_MODULE_SPECS[:2], seed=5, rows_per_bank_limit=64)
+        chip_a = first.modules[0].chips[0]
+        chip_b = second.modules[0].chips[0]
+        assert np.array_equal(chip_a.sig_weak_cells(0, 0), chip_b.sig_weak_cells(0, 0))
+
+    def test_row_limit_applied(self, small_population):
+        for module in small_population.modules:
+            assert module.chip_geometry.rows_per_bank <= 128
+
+    def test_paper_population_helper(self):
+        population = paper_population(rows_per_bank_limit=64)
+        assert population.total_chips == 136
+
+    def test_module_spec_helpers(self):
+        spec = ModuleSpec("MX", "A", 8, 1, 4, 1600, 1.35)
+        assert spec.is_ddr3l
+        assert spec.chip_geometry_key() == "4Gb_x8"

@@ -1,0 +1,37 @@
+"""Tests for the command-line reproduction report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert set(listed) == set(EXPERIMENTS)
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "CODIC-sig" in output
+        assert "Latency (ns)" in output
+
+    def test_run_multiple_experiments(self, capsys):
+        assert main(["table4", "table6"]) == 0
+        output = capsys.readouterr().out
+        assert "PreLatPUF" in output
+        assert "ChaCha-8" in output
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == []
+        assert not args.full
+        assert not args.list_experiments

@@ -1,0 +1,126 @@
+"""Cross-module integration tests.
+
+These tests exercise full end-to-end flows: substrate -> chip -> PUF ->
+authentication, substrate -> module -> cold-boot defence, and the system
+simulator driving the secure-deallocation mechanisms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coldboot.attack import ColdBootAttack
+from repro.core.substrate import CODICSubstrate
+from repro.core.variants import standard_variants
+from repro.dram.module import SegmentAddress
+from repro.puf.authentication import AuthenticationProtocol
+from repro.puf.base import Challenge
+from repro.puf.codic_puf import CODICSigPUF
+from repro.rng.nist import run_nist_suite
+from repro.rng.stream import signature_bitstream
+
+
+class TestSubstrateToChipFlow:
+    def test_mode_register_programming_drives_chip_behaviour(self, chip):
+        """Programming CODIC-det via MRS and executing it must zero the row."""
+        substrate = CODICSubstrate()
+        chip.fill_row(0, 7, 1)
+        substrate.configure("CODIC-det")
+        substrate.execute_on_chip(chip, bank=0, row=7)
+        assert not np.any(chip.read_row(0, 7))
+
+    def test_sig_then_activate_reproduces_weak_cells(self, chip):
+        """CODIC-sig + activation must reproduce the chip's weak-cell map."""
+        substrate = CODICSubstrate()
+        substrate.configure("CODIC-sig")
+        substrate.execute_on_chip(chip, bank=1, row=3)
+        substrate.configure("CODIC-activate")
+        substrate.execute_on_chip(chip, bank=1, row=3)
+        observed = set(np.flatnonzero(chip.read_row(1, 3)).tolist())
+        expected = set(chip.sig_weak_cells(1, 3).tolist())
+        if expected:
+            assert len(observed & expected) / len(expected) > 0.9
+
+    def test_design_space_exploration_finds_signature_variants(self):
+        """Classifying a slice of the design space finds signature-class variants."""
+        from repro.core.variants import classify_schedule, iter_variant_schedules, VariantFunction
+
+        found = set()
+        for schedule in iter_variant_schedules(signals=("wl", "EQ"), limit=2000):
+            found.add(classify_schedule(schedule))
+        assert VariantFunction.SIGNATURE in found
+
+        sa_only = set()
+        for schedule in iter_variant_schedules(signals=("sense_p", "sense_n"), limit=2000):
+            sa_only.add(classify_schedule(schedule))
+        assert VariantFunction.SIGNATURE_SA in sa_only
+        assert VariantFunction.OTHER in sa_only
+
+
+class TestPUFAuthenticationFlow:
+    def test_enrollment_and_authentication_across_temperature(self, module):
+        """A device enrolled at 30C must still authenticate at 85C."""
+        puf = CODICSigPUF(module)
+        protocol = AuthenticationProtocol(puf, acceptance_threshold=0.8)
+        challenges = [Challenge(SegmentAddress(bank, row)) for bank, row in
+                      [(0, 1), (1, 2), (2, 3)]]
+        for challenge in challenges:
+            protocol.enroll(challenge, temperature_c=30.0)
+        for challenge in challenges:
+            hot_response = puf.evaluate(challenge, temperature_c=85.0)
+            assert protocol.authenticate(challenge, hot_response)
+
+    def test_cloned_device_rejected(self, module, second_module):
+        """Responses from a different physical module must not authenticate."""
+        victim_puf = CODICSigPUF(module)
+        attacker_puf = CODICSigPUF(second_module)
+        protocol = AuthenticationProtocol(victim_puf, acceptance_threshold=0.8)
+        challenge = Challenge(SegmentAddress(0, 5))
+        protocol.enroll(challenge)
+        forged = attacker_puf.evaluate(challenge)
+        assert not protocol.authenticate(challenge, forged)
+
+    def test_puf_stream_feeds_nist_suite(self, small_population):
+        """CODIC-sig responses whiten into streams that pass the core tests."""
+        stream = signature_bitstream(
+            small_population.modules, target_bits=30_000, seed=8, mode="addresses"
+        )
+        suite = run_nist_suite(
+            stream, tests=("monobit", "runs", "frequency_within_block", "serial")
+        )
+        assert suite.all_passed
+
+
+class TestColdBootFlow:
+    def test_self_destruction_protects_whole_module(self, module):
+        """Self-destruction at power-on wipes every planted secret."""
+        variants = standard_variants()
+        attack = ColdBootAttack(module, power_off_seconds=0.25, seed=3)
+        segments = [SegmentAddress(0, 1), SegmentAddress(2, 7), SegmentAddress(5, 11)]
+        secrets = {segment: attack.plant_secret(segment) for segment in segments}
+
+        # Power-on: the in-DRAM FSM steps through the rows with CODIC-det.
+        for segment in segments:
+            module.execute_codic(variants["CODIC-det"].schedule, segment)
+
+        for segment, secret in secrets.items():
+            outcome = attack.execute(segment, secret, defence_ran=True)
+            assert not outcome.succeeded()
+
+    def test_unprotected_module_leaks(self, module):
+        attack = ColdBootAttack(module, power_off_seconds=0.25, seed=4)
+        segment = SegmentAddress(3, 3)
+        secret = attack.plant_secret(segment)
+        assert attack.execute(segment, secret).succeeded()
+
+
+class TestEndToEndReport:
+    def test_quick_report_renders(self):
+        """The registry can render a subset of experiments without error."""
+        from repro.experiments import run_experiment
+
+        sections = [run_experiment(eid).render() for eid in ("table2", "table4", "table6")]
+        report = "\n\n".join(sections)
+        assert "CODIC-sig" in report
+        assert "ChaCha-8" in report

@@ -1,0 +1,139 @@
+"""Tests for the cache hierarchy and the workload trace format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memctrl.cache import Cache, CacheConfig, CacheHierarchy
+from repro.memctrl.trace import TraceEvent, TraceEventType, WorkloadTrace
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size_bytes=64 * 1024, line_bytes=64, associativity=8)
+        assert config.num_sets == 128
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=8)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(CacheConfig(size_bytes=4096, line_bytes=64, associativity=2))
+        hit, writeback = cache.access(0, is_write=False)
+        assert not hit and writeback is None
+        hit, _ = cache.access(0, is_write=False)
+        assert hit
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_dirty_eviction_produces_writeback(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=64, associativity=2))
+        # Two ways per set, 2 sets. Fill set 0 with dirty lines then evict.
+        cache.access(0, is_write=True)
+        cache.access(128, is_write=True)
+        hit, writeback = cache.access(256, is_write=False)
+        assert not hit
+        assert writeback == 0  # LRU dirty victim written back
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_has_no_writeback(self):
+        cache = Cache(CacheConfig(size_bytes=256, line_bytes=64, associativity=2))
+        cache.access(0, is_write=False)
+        cache.access(128, is_write=False)
+        _, writeback = cache.access(256, is_write=False)
+        assert writeback is None
+
+    def test_flush_dirty_line(self):
+        cache = Cache(CacheConfig(size_bytes=4096, line_bytes=64, associativity=2))
+        cache.access(64, is_write=True)
+        assert cache.flush(64) is True
+        assert cache.flush(64) is False  # already gone
+
+    def test_invalidate_all(self):
+        cache = Cache(CacheConfig(size_bytes=4096, line_bytes=64, associativity=2))
+        cache.access(0, is_write=True)
+        cache.access(64, is_write=False)
+        assert cache.invalidate_all() == 1
+        hit, _ = cache.access(0, is_write=False)
+        assert not hit
+
+
+class TestCacheHierarchy:
+    def test_l1_hit_generates_no_memory_traffic(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0, is_write=False)
+        latency, ops = hierarchy.access(0, is_write=False)
+        assert ops == []
+        assert latency == hierarchy.l1.config.latency_cycles
+
+    def test_miss_generates_fill(self):
+        hierarchy = CacheHierarchy()
+        latency, ops = hierarchy.access(4096, is_write=False)
+        assert (4096, False) in ops
+        assert latency > hierarchy.l1.config.latency_cycles
+
+    def test_flush_dirty_line_reaches_memory(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(64, is_write=True)
+        ops = hierarchy.flush(64)
+        assert (64, True) in ops
+
+    def test_flush_clean_line_no_traffic(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(64, is_write=False)
+        hierarchy.flush(64)
+        assert hierarchy.flush(64) == []
+
+
+class TestTraceEvents:
+    def test_compute_event_requires_count(self):
+        with pytest.raises(ValueError):
+            TraceEvent(TraceEventType.COMPUTE, count=0)
+
+    def test_dealloc_requires_size(self):
+        with pytest.raises(ValueError):
+            TraceEvent(TraceEventType.DEALLOC, address=0, size_bytes=0)
+
+    def test_line_roundtrip(self):
+        events = [
+            TraceEvent(TraceEventType.COMPUTE, count=10),
+            TraceEvent(TraceEventType.LOAD, address=0x1000),
+            TraceEvent(TraceEventType.STORE, address=0x2000),
+            TraceEvent(TraceEventType.FLUSH, address=0x2000),
+            TraceEvent(TraceEventType.DEALLOC, address=0x4000, size_bytes=8192),
+        ]
+        for event in events:
+            assert TraceEvent.from_line(event.to_line()) == event
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent.from_line("X 123")
+
+
+class TestWorkloadTrace:
+    def test_statistics(self):
+        trace = WorkloadTrace("t")
+        trace.extend(
+            [
+                TraceEvent(TraceEventType.COMPUTE, count=100),
+                TraceEvent(TraceEventType.LOAD, address=0),
+                TraceEvent(TraceEventType.DEALLOC, address=0, size_bytes=4096),
+            ]
+        )
+        assert trace.instruction_count == 102
+        assert trace.memory_accesses == 1
+        assert trace.deallocated_bytes == 4096
+        assert len(trace) == 3
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = WorkloadTrace("roundtrip")
+        trace.append(TraceEvent(TraceEventType.COMPUTE, count=5))
+        trace.append(TraceEvent(TraceEventType.STORE, address=0x40))
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded.events == trace.events
+        assert loaded.name == "trace"

@@ -1,0 +1,167 @@
+"""Tests for the memory controller, schedulers and the request lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.geometry import DRAMGeometry, ModuleGeometry
+from repro.dram.timing import DDR3_1600_11_11_11
+from repro.memctrl.controller import ControllerConfig, MemoryController
+from repro.memctrl.request import MemoryRequest, RequestType
+from repro.memctrl.scheduler import FCFSScheduler, FRFCFSScheduler
+
+TIMING = DDR3_1600_11_11_11
+
+
+def make_controller(**kwargs) -> MemoryController:
+    geometry = ModuleGeometry(
+        chip=DRAMGeometry(banks=8, rows_per_bank=1024, row_bits=8192), chips_per_rank=8
+    )
+    return MemoryController(geometry=geometry, **kwargs)
+
+
+class TestRequest:
+    def test_latency_requires_completion(self):
+        request = MemoryRequest(RequestType.READ, address=0, arrival_ns=0.0)
+        with pytest.raises(ValueError):
+            _ = request.latency_ns
+
+    def test_request_type_predicates(self):
+        assert RequestType.CODIC_ZERO_ROW.is_row_granular
+        assert not RequestType.READ.is_row_granular
+        assert RequestType.READ.needs_data_bus
+        assert not RequestType.CODIC_ZERO_ROW.needs_data_bus
+
+    def test_invalid_request(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(RequestType.READ, address=-1, arrival_ns=0.0)
+
+
+class TestBasicServicing:
+    def test_single_read_latency(self):
+        controller = make_controller()
+        request = MemoryRequest(RequestType.READ, address=0, arrival_ns=0.0)
+        completion = controller.submit_and_wait(request)
+        # Row miss: ACT + tRCD + CL + burst.
+        expected = TIMING.tRCD_ns + TIMING.CL_ns + TIMING.burst_time_ns
+        assert completion == pytest.approx(expected, abs=1.0)
+        assert controller.stats.row_misses == 1
+
+    def test_row_hit_faster_than_miss(self):
+        controller = make_controller()
+        first = MemoryRequest(RequestType.READ, address=0, arrival_ns=0.0)
+        controller.submit_and_wait(first)
+        hit = MemoryRequest(RequestType.READ, address=64, arrival_ns=first.completion_ns)
+        controller.submit_and_wait(hit)
+        assert controller.stats.row_hits == 1
+        assert hit.latency_ns < first.latency_ns
+
+    def test_row_conflict_requires_precharge(self):
+        controller = make_controller()
+        first = MemoryRequest(RequestType.READ, address=0, arrival_ns=0.0)
+        controller.submit_and_wait(first)
+        # Same bank, different row: bank 0 rows are 8 KB * 8 banks apart.
+        conflict_address = 8192 * 8
+        conflict = MemoryRequest(
+            RequestType.READ, address=conflict_address, arrival_ns=first.completion_ns
+        )
+        controller.submit_and_wait(conflict)
+        assert controller.stats.row_conflicts == 1
+        assert controller.stats.precharges >= 1
+
+    def test_write_then_drain(self):
+        controller = make_controller()
+        controller.enqueue(MemoryRequest(RequestType.WRITE, address=0, arrival_ns=0.0))
+        assert controller.pending_requests == 1
+        finish = controller.drain()
+        assert finish > 0
+        assert controller.stats.writes == 1
+
+    def test_row_op_counts_and_energy(self):
+        controller = make_controller()
+        request = MemoryRequest(RequestType.CODIC_ZERO_ROW, address=0, arrival_ns=0.0)
+        controller.submit_and_wait(request)
+        assert controller.stats.row_ops == 1
+        assert controller.total_energy_nj() > 0
+
+    def test_rowclone_slower_than_codic(self):
+        codic_ctrl = make_controller()
+        rowclone_ctrl = make_controller()
+        codic = MemoryRequest(RequestType.CODIC_ZERO_ROW, address=0, arrival_ns=0.0)
+        rowclone = MemoryRequest(RequestType.ROWCLONE_ZERO_ROW, address=0, arrival_ns=0.0)
+        assert codic_ctrl.submit_and_wait(codic) < rowclone_ctrl.submit_and_wait(rowclone)
+
+
+class TestQueueManagement:
+    def test_read_queue_overflow_raises(self):
+        controller = make_controller(config=ControllerConfig(read_queue_entries=2))
+        controller.enqueue(MemoryRequest(RequestType.READ, address=0, arrival_ns=0.0))
+        controller.enqueue(MemoryRequest(RequestType.READ, address=64, arrival_ns=0.0))
+        assert controller.read_queue_full()
+        with pytest.raises(RuntimeError):
+            controller.enqueue(MemoryRequest(RequestType.READ, address=128, arrival_ns=0.0))
+
+    def test_wait_for_unqueued_request_raises(self):
+        controller = make_controller()
+        request = MemoryRequest(RequestType.READ, address=0, arrival_ns=0.0)
+        with pytest.raises(RuntimeError):
+            controller.wait_for(request)
+
+    def test_advance_respects_until(self):
+        controller = make_controller()
+        late = MemoryRequest(RequestType.READ, address=0, arrival_ns=10_000.0)
+        controller.enqueue(late)
+        controller.advance(until_ns=100.0)
+        assert controller.pending_requests == 1  # not serviced yet
+        controller.advance(until_ns=20_000.0)
+        assert controller.pending_requests == 0
+
+    def test_drain_empties_all_queues(self):
+        controller = make_controller()
+        for index in range(10):
+            controller.enqueue(
+                MemoryRequest(RequestType.WRITE, address=index * 64, arrival_ns=0.0)
+            )
+            controller.enqueue(
+                MemoryRequest(RequestType.READ, address=(index + 100) * 64, arrival_ns=0.0)
+            )
+        controller.drain()
+        assert controller.pending_requests == 0
+        assert controller.stats.reads == 10
+        assert controller.stats.writes == 10
+
+
+class TestSchedulers:
+    def _queued(self, addresses):
+        return [
+            MemoryRequest(RequestType.READ, address=address, arrival_ns=float(index))
+            for index, address in enumerate(addresses)
+        ]
+
+    def test_fcfs_picks_oldest(self):
+        controller = make_controller()
+        queue = self._queued([64 * 1000, 64])
+        selected = FCFSScheduler().select(queue, controller.mapper, controller)
+        assert selected is queue[0]
+
+    def test_frfcfs_prefers_row_hit(self):
+        controller = make_controller()
+        # Open row 0 of bank 0 by servicing a request there first.
+        controller.submit_and_wait(MemoryRequest(RequestType.READ, address=0, arrival_ns=0.0))
+        older_conflict = MemoryRequest(RequestType.READ, address=8192 * 8, arrival_ns=1.0)
+        newer_hit = MemoryRequest(RequestType.READ, address=128, arrival_ns=2.0)
+        selected = FRFCFSScheduler().select(
+            [older_conflict, newer_hit], controller.mapper, controller
+        )
+        assert selected is newer_hit
+
+    def test_frfcfs_falls_back_to_oldest(self):
+        controller = make_controller()
+        queue = self._queued([64 * 500, 64 * 900])
+        selected = FRFCFSScheduler().select(queue, controller.mapper, controller)
+        assert selected is queue[0]
+
+    def test_empty_queue_returns_none(self):
+        controller = make_controller()
+        assert FRFCFSScheduler().select([], controller.mapper, controller) is None
+        assert FCFSScheduler().select([], controller.mapper, controller) is None

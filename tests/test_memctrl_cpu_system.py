@@ -1,0 +1,130 @@
+"""Tests for the in-order core and the full system simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.geometry import DRAMGeometry
+from repro.memctrl.request import RequestType
+from repro.memctrl.system import System, SystemConfig
+from repro.memctrl.trace import TraceEvent, TraceEventType, WorkloadTrace
+
+
+def small_system(cores: int = 1) -> System:
+    config = SystemConfig(
+        cores=cores,
+        chip_geometry=DRAMGeometry(banks=8, rows_per_bank=1024, row_bits=8192),
+    )
+    return System(config=config)
+
+
+def simple_trace(name: str = "t", loads: int = 50, offset: int = 0) -> WorkloadTrace:
+    trace = WorkloadTrace(name)
+    for index in range(loads):
+        trace.append(TraceEvent(TraceEventType.COMPUTE, count=10))
+        trace.append(TraceEvent(TraceEventType.LOAD, address=offset + index * 4096))
+    return trace
+
+
+class TestInOrderCore:
+    def test_compute_advances_cycles(self):
+        system = small_system()
+        core = system.cores[0]
+        core.execute(TraceEvent(TraceEventType.COMPUTE, count=100))
+        assert core.cycles == 100
+        assert core.stats.instructions == 100
+
+    def test_load_miss_stalls_core(self):
+        system = small_system()
+        core = system.cores[0]
+        before = core.cycles
+        core.execute(TraceEvent(TraceEventType.LOAD, address=0))
+        assert core.cycles > before + 50  # DRAM latency in cycles
+        assert core.stats.stall_cycles > 0
+
+    def test_cached_load_does_not_stall(self):
+        system = small_system()
+        core = system.cores[0]
+        core.execute(TraceEvent(TraceEventType.LOAD, address=0))
+        stalls_before = core.stats.stall_cycles
+        core.execute(TraceEvent(TraceEventType.LOAD, address=0))
+        assert core.stats.stall_cycles == stalls_before
+
+    def test_store_is_buffered(self):
+        system = small_system()
+        core = system.cores[0]
+        core.execute(TraceEvent(TraceEventType.STORE, address=0))
+        assert core.stats.stores == 1
+
+    def test_flush_generates_writeback(self):
+        system = small_system()
+        core = system.cores[0]
+        core.execute(TraceEvent(TraceEventType.STORE, address=0))
+        pending_before = system.controller.pending_requests
+        core.do_flush(0)
+        assert system.controller.pending_requests > pending_before
+
+    def test_issue_row_op_validates_type(self):
+        system = small_system()
+        core = system.cores[0]
+        with pytest.raises(ValueError):
+            core.issue_row_op(RequestType.READ, 0)
+        core.issue_row_op(RequestType.CODIC_ZERO_ROW, 0)
+        assert system.controller.pending_requests == 1
+
+    def test_time_conversion(self):
+        system = small_system()
+        core = system.cores[0]
+        core.cycles = 3200
+        assert core.time_ns == pytest.approx(1000.0)
+        assert core.ns_to_cycles(1000.0) == pytest.approx(3200.0)
+
+
+class TestSystem:
+    def test_single_core_run_produces_stats(self):
+        system = small_system()
+        stats = system.run([simple_trace()])
+        assert stats.finish_time_ns > 0
+        assert stats.dram_reads > 0
+        assert stats.dram_energy_nj > 0
+        assert len(stats.core_cycles) == 1
+
+    def test_too_many_traces_rejected(self):
+        system = small_system(cores=1)
+        with pytest.raises(ValueError):
+            system.run([simple_trace("a"), simple_trace("b")])
+
+    def test_multicore_contention_slows_cores(self):
+        # The same trace takes longer per core when 4 cores share the channel
+        # than when one core runs alone.
+        single = small_system(cores=1)
+        single_stats = single.run([simple_trace("solo", loads=100)])
+
+        quad = small_system(cores=4)
+        traces = [
+            simple_trace(f"c{i}", loads=100, offset=i * (8 << 20)) for i in range(4)
+        ]
+        quad_stats = quad.run(traces)
+        assert quad_stats.finish_time_ns > single_stats.finish_time_ns
+
+    def test_dealloc_handler_installed_on_all_cores(self):
+        system = small_system(cores=2)
+        markers = []
+
+        class Recorder:
+            def handle(self, core, event):
+                markers.append((core.core_id, event.size_bytes))
+
+        system.set_dealloc_handler(lambda core: Recorder())
+        trace = WorkloadTrace("d")
+        trace.append(TraceEvent(TraceEventType.DEALLOC, address=0, size_bytes=8192))
+        system.run([trace, trace])
+        assert len(markers) == 2
+
+    def test_row_hit_rate_reported(self):
+        system = small_system()
+        trace = WorkloadTrace("hits")
+        for index in range(64):
+            trace.append(TraceEvent(TraceEventType.LOAD, address=index * 64))
+        stats = system.run([trace])
+        assert 0.0 <= stats.row_hit_rate <= 1.0

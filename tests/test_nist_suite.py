@@ -1,0 +1,135 @@
+"""Tests for the NIST SP 800-22 statistical test suite.
+
+The suite is validated in three ways: known-good uniform streams must pass,
+pathological streams must fail the relevant tests, and selected tests are
+checked against hand-computable statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng.nist import NIST_TEST_NAMES, run_nist_suite, run_single_test
+from repro.rng.nist.basic import _gf2_rank, _longest_run
+from repro.rng.nist.complexity import _berlekamp_massey
+from repro.rng.nist.result import NISTTestResult
+
+
+@pytest.fixture(scope="module")
+def uniform_bits() -> np.ndarray:
+    return np.random.default_rng(42).integers(0, 2, 120_000).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def biased_bits() -> np.ndarray:
+    return (np.random.default_rng(43).random(50_000) < 0.65).astype(np.uint8)
+
+
+class TestSuiteOnUniformInput:
+    def test_all_fifteen_tests_present(self):
+        assert len(NIST_TEST_NAMES) == 15
+
+    @pytest.mark.parametrize("name", NIST_TEST_NAMES)
+    def test_uniform_stream_passes(self, uniform_bits, name):
+        result = run_single_test(name, uniform_bits)
+        assert result.passed, f"{name} unexpectedly failed: p={result.p_value}"
+
+    def test_suite_aggregate(self, uniform_bits):
+        suite = run_nist_suite(uniform_bits, tests=("monobit", "runs", "serial"))
+        assert suite.all_passed
+        assert suite.applicable_tests == 3
+        assert suite.result("runs").passed
+
+    def test_unknown_test_name(self, uniform_bits):
+        with pytest.raises(KeyError):
+            run_single_test("bogus", uniform_bits)
+
+
+class TestSuiteOnPathologicalInput:
+    def test_biased_stream_fails_monobit(self, biased_bits):
+        assert not run_single_test("monobit", biased_bits).passed
+
+    def test_biased_stream_fails_cumulative_sums(self, biased_bits):
+        assert not run_single_test("cumulative_sums", biased_bits).passed
+
+    def test_alternating_stream_fails_runs_family(self):
+        bits = np.tile([0, 1], 10_000).astype(np.uint8)
+        assert not run_single_test("runs", bits).passed
+        assert not run_single_test("serial", bits).passed
+        assert not run_single_test("approximate_entropy", bits).passed
+
+    def test_repeating_block_fails_linear_complexity_or_serial(self):
+        block = np.random.default_rng(7).integers(0, 2, 16).astype(np.uint8)
+        bits = np.tile(block, 4000)
+        serial = run_single_test("serial", bits)
+        complexity = run_single_test("linear_complexity", bits)
+        assert not (serial.passed and complexity.passed)
+
+    def test_all_ones_blocks_fail_overlapping_template(self):
+        rng = np.random.default_rng(8)
+        bits = rng.integers(0, 2, 40_000).astype(np.uint8)
+        bits[::50] = 1  # inject periodic structure plus runs of ones
+        bits[: 20_000] = 1
+        assert not run_single_test("overlapping_template_matching", bits).passed
+
+
+class TestApplicability:
+    def test_short_stream_marks_heavy_tests_not_applicable(self):
+        bits = np.random.default_rng(0).integers(0, 2, 500).astype(np.uint8)
+        for name in ("maurers_universal", "binary_matrix_rank", "overlapping_template_matching"):
+            result = run_single_test(name, bits)
+            assert not result.applicable
+            assert result.passed  # N/A tests do not fail the suite
+
+    def test_suite_counts_applicable(self):
+        bits = np.random.default_rng(0).integers(0, 2, 500).astype(np.uint8)
+        suite = run_nist_suite(bits, tests=("monobit", "maurers_universal"))
+        assert suite.applicable_tests == 1
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            run_single_test("monobit", np.empty(0, dtype=np.uint8))
+
+
+class TestKnownStatistics:
+    def test_monobit_exact_p_value(self):
+        # SP 800-22 worked example: 1011010101 -> p = 0.527089.
+        bits = np.array([1, 0, 1, 1, 0, 1, 0, 1, 0, 1], dtype=np.uint8)
+        result = run_single_test("monobit", bits)
+        assert result.p_value == pytest.approx(0.527089, abs=1e-4)
+
+    def test_runs_exact_p_value(self):
+        # SP 800-22 worked example: 1001101011 -> p = 0.147232.
+        bits = np.array([1, 0, 0, 1, 1, 0, 1, 0, 1, 1], dtype=np.uint8)
+        result = run_single_test("runs", bits)
+        assert result.p_value == pytest.approx(0.147232, abs=1e-4)
+
+    def test_longest_run_helper(self):
+        assert _longest_run(np.array([1, 1, 0, 1, 1, 1, 0], dtype=np.uint8)) == 3
+        assert _longest_run(np.zeros(5, dtype=np.uint8)) == 0
+
+    def test_gf2_rank_identity(self):
+        assert _gf2_rank(np.eye(8, dtype=np.uint8)) == 8
+
+    def test_gf2_rank_dependent_rows(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]], dtype=np.uint8)
+        assert _gf2_rank(matrix) == 2
+
+    def test_berlekamp_massey_lfsr(self):
+        # An m-sequence from a degree-4 LFSR has linear complexity 4.
+        state = [1, 0, 0, 1]
+        bits = []
+        for _ in range(60):
+            bits.append(state[-1])
+            new = state[0] ^ state[-1]
+            state = [new] + state[:-1]
+        assert _berlekamp_massey(np.array(bits, dtype=np.uint8)) == 4
+
+    def test_berlekamp_massey_constant_zero(self):
+        assert _berlekamp_massey(np.zeros(32, dtype=np.uint8)) == 0
+
+    def test_result_describe(self):
+        result = NISTTestResult(name="monobit", p_value=0.5)
+        assert "PASS" in result.describe()
+        assert NISTTestResult(name="x", p_value=0.0, applicable=False).passed

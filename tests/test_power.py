@@ -1,0 +1,103 @@
+"""Tests for the DRAMPower-style energy model and command counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import standard_variants
+from repro.dram.commands import CommandType
+from repro.power import CommandCounters, CommandEnergyModel, EnergyAccountant
+
+
+class TestCommandEnergyModel:
+    def test_activation_energy_matches_paper(self):
+        model = CommandEnergyModel()
+        assert model.command_energy_nj(CommandType.ACTIVATE) == pytest.approx(17.3)
+
+    def test_codic_energy_close_to_activation(self):
+        # Section 4.3: all CODIC variants consume ~17.2 nJ.
+        model = CommandEnergyModel()
+        codic = model.command_energy_nj(CommandType.CODIC)
+        assert codic == pytest.approx(17.2, abs=0.1)
+
+    def test_variant_energies_match_table2(self):
+        model = CommandEnergyModel()
+        variants = standard_variants()
+        assert model.variant_energy_nj(variants["CODIC-activate"]) == pytest.approx(17.3)
+        for name in ("CODIC-precharge", "CODIC-sig", "CODIC-sig-opt", "CODIC-det"):
+            assert model.variant_energy_nj(variants[name]) == pytest.approx(17.2, abs=0.1)
+
+    def test_rowclone_and_lisa_energy_ratios(self):
+        # Calibrated so the Section 6.2 energy ratios (1.7x / 2.5x vs CODIC)
+        # come out of the destruction sweep.
+        model = CommandEnergyModel()
+        codic = model.command_energy_nj(CommandType.CODIC)
+        assert model.command_energy_nj(CommandType.ROWCLONE_COPY) / codic == pytest.approx(1.7, rel=0.05)
+        assert model.command_energy_nj(CommandType.LISA_COPY) / codic == pytest.approx(2.5, rel=0.05)
+
+    def test_breakdown_sums_to_total(self):
+        model = CommandEnergyModel()
+        for command in (CommandType.ACTIVATE, CommandType.CODIC, CommandType.PRECHARGE):
+            breakdown = model.breakdown(command)
+            assert breakdown.total_nj == pytest.approx(
+                model.command_energy_nj(command), rel=1e-6, abs=1e-3
+            )
+
+    def test_address_routing_is_forty_percent(self):
+        model = CommandEnergyModel()
+        breakdown = model.breakdown(CommandType.ACTIVATE)
+        assert breakdown.address_routing_nj / breakdown.total_nj == pytest.approx(0.4, abs=0.01)
+
+    def test_background_energy(self):
+        model = CommandEnergyModel(background_power_w=0.1)
+        assert model.background_energy_nj(1000.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            model.background_energy_nj(-1.0)
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(ValueError):
+            CommandEnergyModel().command_energy_nj("bogus")  # type: ignore[arg-type]
+
+
+class TestCounters:
+    def test_record_and_count(self):
+        counters = CommandCounters()
+        counters.record(CommandType.ACTIVATE, 3)
+        counters.record(CommandType.READ)
+        assert counters.count(CommandType.ACTIVATE) == 3
+        assert counters.count(CommandType.READ) == 1
+        assert counters.count(CommandType.WRITE) == 0
+        assert counters.total() == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CommandCounters().record(CommandType.READ, -1)
+
+    def test_merge(self):
+        a = CommandCounters()
+        b = CommandCounters()
+        a.record(CommandType.READ, 2)
+        b.record(CommandType.READ, 3)
+        b.record(CommandType.WRITE, 1)
+        merged = a.merge(b)
+        assert merged.count(CommandType.READ) == 5
+        assert merged.count(CommandType.WRITE) == 1
+
+    def test_as_dict_keys_are_mnemonics(self):
+        counters = CommandCounters()
+        counters.record(CommandType.CODIC, 2)
+        assert counters.as_dict() == {"CODIC": 2}
+
+
+class TestEnergyAccountant:
+    def test_command_plus_background(self):
+        accountant = EnergyAccountant(model=CommandEnergyModel(background_power_w=0.1))
+        accountant.record_command(CommandType.ACTIVATE, 2)
+        accountant.record_time(1000.0)
+        expected = 2 * 17.3 + 100.0
+        assert accountant.total_energy_nj() == pytest.approx(expected)
+        assert accountant.total_energy_nj(include_background=False) == pytest.approx(2 * 17.3)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAccountant().record_time(-5.0)

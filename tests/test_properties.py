@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.command import CODICCommand, CODICCommandEncoder
+from repro.core.signals import SignalPulse, SignalSchedule
+from repro.core.variants import classify_schedule, estimate_latency_ns, VariantFunction
+from repro.dram.address import AddressMapper
+from repro.dram.geometry import DRAMGeometry, ModuleGeometry
+from repro.puf.jaccard import jaccard_index
+from repro.rng.extractor import von_neumann_extract
+from repro.utils.rng import derive_seed
+from repro.utils.tables import render_table
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+pulse_strategy = st.tuples(st.integers(0, 23), st.integers(1, 24)).filter(
+    lambda t: t[0] < t[1]
+)
+
+signal_names = st.sampled_from(["wl", "EQ", "sense_p", "sense_n"])
+
+schedule_strategy = st.dictionaries(signal_names, pulse_strategy, max_size=4).map(
+    SignalSchedule.from_timings
+)
+
+position_sets = st.frozensets(st.integers(0, 2047), max_size=64)
+
+
+class TestSignalScheduleProperties:
+    @given(schedule_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_register_encoding_roundtrip(self, schedule):
+        values = schedule.to_register_values()
+        assert SignalSchedule.from_register_values(values) == schedule
+
+    @given(schedule_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_latency_is_one_of_the_command_classes(self, schedule):
+        latency = estimate_latency_ns(schedule)
+        assert latency in (0.0, 13.0, 35.0)
+
+    @given(schedule_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_classification_total_and_stable(self, schedule):
+        function = classify_schedule(schedule)
+        assert isinstance(function, VariantFunction)
+        assert classify_schedule(schedule) is function
+
+    @given(pulse_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_pulse_duration_positive(self, bounds):
+        pulse = SignalPulse(start_ns=bounds[0], end_ns=bounds[1])
+        assert pulse.duration_ns > 0
+        assert pulse.end_ns <= 24
+
+    @given(schedule_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_waveform_levels_match_pulses(self, schedule):
+        waveforms = schedule.to_waveforms()
+        for signal in ("wl", "EQ", "sense_p", "sense_n"):
+            pulse = schedule.pulse(signal)
+            if pulse is None:
+                assert waveforms.level(signal, 12.0) == 0
+            else:
+                midpoint = (pulse.start_ns + pulse.end_ns) / 2.0
+                assert waveforms.level(signal, midpoint) == 1
+                assert waveforms.level(signal, float(pulse.end_ns)) == 0
+
+
+class TestCommandEncodingProperties:
+    @given(
+        st.integers(0, 7),
+        st.integers(0, (1 << 16) - 1),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_roundtrip(self, bank, row, register_set):
+        encoder = CODICCommandEncoder()
+        command = CODICCommand(bank=bank, row=row, register_set=register_set)
+        assert encoder.decode(encoder.encode(command)) == command
+
+
+class TestAddressMapperProperties:
+    mapper = AddressMapper(
+        geometry=ModuleGeometry(
+            chip=DRAMGeometry(banks=8, rows_per_bank=512, row_bits=8192),
+            chips_per_rank=8,
+        )
+    )
+
+    @given(st.integers(0, (8 * 512 * 8192) - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_encode_roundtrip(self, address):
+        decoded = self.mapper.decode(address)
+        assert self.mapper.encode(decoded) == address
+
+    @given(st.integers(0, (8 * 512 * 8192) - 64))
+    @settings(max_examples=200, deadline=None)
+    def test_addresses_in_same_line_share_coordinates(self, address):
+        base = (address // 64) * 64
+        a = self.mapper.decode(base)
+        b = self.mapper.decode(base + 63)
+        assert a.row_key() == b.row_key()
+        assert a.column == b.column
+
+
+class TestJaccardProperties:
+    @given(position_sets, position_sets)
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        value = jaccard_index(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_index(b, a)
+
+    @given(position_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_identity(self, a):
+        assert jaccard_index(a, a) == 1.0
+
+    @given(position_sets, position_sets)
+    @settings(max_examples=200, deadline=None)
+    def test_disjoint_sets_score_zero(self, a, b):
+        if a and b and not (a & b):
+            assert jaccard_index(a, b) == 0.0
+
+    @given(position_sets, position_sets, position_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_under_common_extension(self, a, b, c):
+        # Adding the same elements to both sets never decreases similarity.
+        base = jaccard_index(a, b)
+        extended = jaccard_index(a | c, b | c)
+        assert extended >= base - 1e-12
+
+
+class TestExtractorProperties:
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=2000))
+    @settings(max_examples=100, deadline=None)
+    def test_output_shorter_than_half_input(self, bits):
+        stream = np.asarray(bits, dtype=np.uint8)
+        extracted = von_neumann_extract(stream)
+        assert extracted.size <= stream.size // 2
+        assert set(np.unique(extracted)).issubset({0, 1})
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=2000))
+    @settings(max_examples=100, deadline=None)
+    def test_output_counts_match_discordant_pairs(self, bits):
+        stream = np.asarray(bits, dtype=np.uint8)
+        pairs = stream[: (stream.size // 2) * 2].reshape(-1, 2)
+        discordant = int(np.count_nonzero(pairs[:, 0] != pairs[:, 1]))
+        assert von_neumann_extract(stream).size == discordant
+
+
+class TestSeedDerivationProperties:
+    @given(st.integers(0, 2**32), st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=150, deadline=None)
+    def test_distinct_labels_rarely_collide_and_stay_in_range(self, seed, a, b):
+        sa = derive_seed(seed, a)
+        sb = derive_seed(seed, b)
+        assert 0 <= sa < 2**63
+        if a != b:
+            assert sa != sb  # SHA-256 collision would be required
+
+
+class TestRenderTableProperties:
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_row_count_preserved(self, headers, num_rows):
+        rows = [[f"r{r}c{c}" for c in range(len(headers))] for r in range(num_rows)]
+        rendered = render_table(headers, rows)
+        assert len(rendered.splitlines()) == 2 + num_rows

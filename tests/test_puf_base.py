@@ -1,0 +1,122 @@
+"""Tests for PUF abstractions, filtering and Jaccard metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.module import SegmentAddress
+from repro.puf.base import Challenge, PUFResponse
+from repro.puf.filtering import intersect_filter, majority_filter
+from repro.puf.jaccard import JaccardDistribution, jaccard_index, pairwise_jaccard
+
+
+def response(positions, segment=SegmentAddress(0, 0)) -> PUFResponse:
+    return PUFResponse(positions=frozenset(positions), challenge=Challenge(segment))
+
+
+class TestChallenge:
+    def test_default_segment_size_is_8kb(self):
+        challenge = Challenge(SegmentAddress(0, 1))
+        assert challenge.size_bytes == 8192
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Challenge(SegmentAddress(0, 0), size_bytes=0)
+
+    def test_random_challenge_within_module(self, module, rng):
+        challenge = Challenge.random(module, rng)
+        assert 0 <= challenge.segment.bank < module.chip_geometry.banks
+
+    def test_hashable(self):
+        a = Challenge(SegmentAddress(1, 2))
+        b = Challenge(SegmentAddress(1, 2))
+        assert len({a, b}) == 1
+
+
+class TestPUFResponse:
+    def test_jaccard_identical(self):
+        assert response({1, 2, 3}).jaccard_with(response({1, 2, 3})) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert response({1, 2}).jaccard_with(response({3, 4})) == 0.0
+
+    def test_jaccard_partial(self):
+        assert response({1, 2, 3}).jaccard_with(response({2, 3, 4})) == pytest.approx(0.5)
+
+    def test_jaccard_both_empty(self):
+        assert response(set()).jaccard_with(response(set())) == 1.0
+
+    def test_matches_exact(self):
+        assert response({5}).matches(response({5}))
+        assert not response({5}).matches(response({5, 6}))
+
+    def test_len(self):
+        assert len(response({1, 2, 3})) == 3
+
+
+class TestFilters:
+    def test_majority_filter_default_threshold(self):
+        observations = [frozenset({1, 2}), frozenset({1}), frozenset({1, 3})]
+        assert majority_filter(observations) == frozenset({1})
+
+    def test_majority_filter_explicit_threshold(self):
+        # Position 1 appears 91 times (> 90), position 2 appears 100 times,
+        # position 3 appears only 9 times and must be filtered out.
+        observations = [frozenset({1, 2})] * 91 + [frozenset({2, 3})] * 9
+        assert majority_filter(observations, threshold=90) == frozenset({1, 2})
+
+    def test_majority_filter_validation(self):
+        with pytest.raises(ValueError):
+            majority_filter([])
+        with pytest.raises(ValueError):
+            majority_filter([frozenset({1})], threshold=5)
+
+    def test_intersect_filter(self):
+        observations = [frozenset({1, 2, 3}), frozenset({2, 3}), frozenset({3, 2, 9})]
+        assert intersect_filter(observations) == frozenset({2, 3})
+
+    def test_intersect_filter_empty_input(self):
+        with pytest.raises(ValueError):
+            intersect_filter([])
+
+
+class TestJaccard:
+    def test_jaccard_index_function(self):
+        assert jaccard_index({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard_index(set(), set()) == 1.0
+
+    def test_distribution_statistics(self):
+        distribution = JaccardDistribution()
+        distribution.extend([0.0, 0.5, 1.0])
+        assert distribution.mean == pytest.approx(0.5)
+        assert distribution.median == pytest.approx(0.5)
+        assert distribution.fraction_above(0.9) == pytest.approx(1 / 3)
+        assert distribution.fraction_below(0.1) == pytest.approx(1 / 3)
+        assert len(distribution) == 3
+
+    def test_distribution_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            JaccardDistribution().add(1.5)
+
+    def test_histogram_sums_to_100_percent(self):
+        distribution = JaccardDistribution()
+        distribution.extend(np.linspace(0, 1, 50).tolist())
+        edges, probabilities = distribution.histogram(bins=10)
+        assert len(edges) == 11
+        assert probabilities.sum() == pytest.approx(100.0)
+
+    def test_empty_distribution(self):
+        distribution = JaccardDistribution()
+        assert distribution.mean == 0.0
+        assert distribution.fraction_above(0.5) == 0.0
+
+    def test_pairwise(self):
+        distribution = pairwise_jaccard([frozenset({1}), frozenset({1}), frozenset({2})])
+        assert len(distribution) == 3
+        assert distribution.values.count(1.0) == 1
+
+    def test_summary_keys(self):
+        distribution = JaccardDistribution()
+        distribution.add(0.5)
+        assert set(distribution.summary()) == {"count", "mean", "median", "std"}

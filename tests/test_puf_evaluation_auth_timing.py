@@ -1,0 +1,128 @@
+"""Tests for the PUF evaluation harness, authentication protocol and timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.puf.authentication import AuthenticationProtocol
+from repro.puf.base import Challenge
+from repro.puf.codic_puf import CODICSigPUF
+from repro.puf.evaluation import FIGURE6_TEMPERATURE_DELTAS, PUFEvaluator
+from repro.puf.latency_puf import DRAMLatencyPUF
+from repro.puf.timing import PUFTimingModel
+from repro.dram.module import SegmentAddress
+
+
+class TestEvaluator:
+    def test_quality_result_fields(self, small_population):
+        evaluator = PUFEvaluator(
+            small_population.modules, lambda m: CODICSigPUF(m), pairs=10, seed=1
+        )
+        quality = evaluator.quality()
+        assert len(quality.intra) == 10
+        assert len(quality.inter) == 10
+        assert quality.is_repeatable
+        assert quality.is_unique
+        assert set(quality.summary()) == {"intra_mean", "intra_std", "inter_mean", "inter_std"}
+
+    def test_temperature_sweep_points(self, small_population):
+        evaluator = PUFEvaluator(
+            small_population.modules, lambda m: CODICSigPUF(m), pairs=8, seed=2
+        )
+        points = evaluator.temperature_sweep()
+        assert [p.temperature_delta_c for p in points] == list(FIGURE6_TEMPERATURE_DELTAS)
+        assert all(len(p.intra) == 8 for p in points)
+
+    def test_codic_temperature_sweep_stays_high(self, small_population):
+        evaluator = PUFEvaluator(
+            small_population.modules, lambda m: CODICSigPUF(m), pairs=10, seed=4
+        )
+        points = evaluator.temperature_sweep()
+        assert points[-1].intra.mean > 0.9  # robust even at dT = 55C
+
+    def test_latency_puf_degrades_with_temperature(self, small_population):
+        evaluator = PUFEvaluator(
+            small_population.modules, lambda m: DRAMLatencyPUF(m), pairs=10, seed=4
+        )
+        points = evaluator.temperature_sweep()
+        assert points[-1].intra.mean < points[0].intra.mean
+
+    def test_aging_study_robust(self, small_population):
+        evaluator = PUFEvaluator(
+            small_population.modules, lambda m: CODICSigPUF(m), pairs=10, seed=6
+        )
+        distribution = evaluator.aging_study()
+        assert distribution.mean > 0.9
+
+    def test_validation(self, small_population):
+        with pytest.raises(ValueError):
+            PUFEvaluator([], lambda m: CODICSigPUF(m))
+        with pytest.raises(ValueError):
+            PUFEvaluator(small_population.modules, lambda m: CODICSigPUF(m), pairs=0)
+
+
+class TestAuthentication:
+    def test_genuine_accepted_impostor_rejected(self, module, rng):
+        puf = CODICSigPUF(module)
+        protocol = AuthenticationProtocol(puf, acceptance_threshold=0.9)
+        challenges = [Challenge(SegmentAddress(0, row)) for row in range(6)]
+        result = protocol.run_experiment(challenges, seed=13)
+        assert result.false_acceptance_rate == 0.0
+        assert result.false_rejection_rate < 0.2
+
+    def test_exact_matching_far_is_zero(self, module):
+        puf = CODICSigPUF(module)
+        protocol = AuthenticationProtocol(puf, acceptance_threshold=1.0)
+        challenges = [Challenge(SegmentAddress(1, row)) for row in range(4)]
+        result = protocol.run_experiment(challenges, seed=21)
+        assert result.false_acceptance_rate == 0.0
+
+    def test_unenrolled_challenge_rejected(self, module):
+        puf = CODICSigPUF(module)
+        protocol = AuthenticationProtocol(puf)
+        challenge = Challenge(SegmentAddress(0, 0))
+        response = puf.evaluate(challenge)
+        with pytest.raises(KeyError):
+            protocol.authenticate(challenge, response)
+
+    def test_enrollment_bookkeeping(self, module):
+        puf = CODICSigPUF(module)
+        protocol = AuthenticationProtocol(puf)
+        challenge = Challenge(SegmentAddress(0, 2))
+        protocol.enroll(challenge)
+        assert protocol.enrolled_challenges() == [challenge]
+
+    def test_rates_zero_when_no_trials(self):
+        from repro.puf.authentication import AuthenticationResult
+
+        result = AuthenticationResult(0, 0, 0, 0)
+        assert result.false_rejection_rate == 0.0
+        assert result.false_acceptance_rate == 0.0
+
+
+class TestTimingModel:
+    def test_table4_absolute_values(self):
+        table = PUFTimingModel().table4()
+        assert table["DRAM Latency PUF"]["with_filter_ms"] == pytest.approx(88.2, rel=0.05)
+        assert table["PreLatPUF"]["with_filter_ms"] == pytest.approx(7.95, rel=0.05)
+        assert table["PreLatPUF"]["without_filter_ms"] == pytest.approx(1.59, rel=0.05)
+        assert table["CODIC-sig PUF"]["with_filter_ms"] == pytest.approx(4.41, rel=0.05)
+        assert table["CODIC-sig PUF"]["without_filter_ms"] == pytest.approx(0.88, rel=0.05)
+
+    def test_codic_faster_than_prelat_by_1_8x(self):
+        model = PUFTimingModel()
+        ratio = model.prelat_puf(5).total_ms / model.codic_sig(5).total_ms
+        assert ratio == pytest.approx(1.8, rel=0.05)
+
+    def test_codic_20x_faster_than_latency_puf(self):
+        model = PUFTimingModel()
+        ratio = model.dram_latency_puf(100).total_ms / model.codic_sig(5).total_ms
+        assert 15.0 < ratio < 25.0
+
+    def test_passes_scale_linearly(self):
+        model = PUFTimingModel()
+        assert model.codic_sig(10).total_ns == pytest.approx(2 * model.codic_sig(5).total_ns)
+
+    def test_estimate_units(self):
+        estimate = PUFTimingModel().codic_sig(1)
+        assert estimate.total_ms == pytest.approx(estimate.total_ns / 1e6)

@@ -1,0 +1,148 @@
+"""Tests for the three DRAM PUF implementations and their quality shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.module import SegmentAddress
+from repro.puf.base import Challenge
+from repro.puf.codic_puf import CODICSigPUF
+from repro.puf.evaluation import PUFEvaluator
+from repro.puf.latency_puf import DRAMLatencyPUF
+from repro.puf.prelat_puf import PreLatPUF
+
+
+class TestCODICSigPUF:
+    def test_response_repeatable(self, module):
+        puf = CODICSigPUF(module)
+        challenge = Challenge(SegmentAddress(0, 1))
+        first = puf.evaluate(challenge)
+        second = puf.evaluate(challenge)
+        assert first.jaccard_with(second) > 0.9
+
+    def test_different_segments_give_different_responses(self, module):
+        puf = CODICSigPUF(module)
+        first = puf.evaluate(Challenge(SegmentAddress(0, 1)))
+        second = puf.evaluate(Challenge(SegmentAddress(0, 2)))
+        assert first.jaccard_with(second) < 0.1
+
+    def test_different_modules_give_different_responses(self, module, second_module):
+        challenge = Challenge(SegmentAddress(0, 1))
+        first = CODICSigPUF(module).evaluate(challenge)
+        second = CODICSigPUF(second_module).evaluate(challenge)
+        assert first.jaccard_with(second) < 0.1
+
+    def test_no_filter_single_pass(self, module):
+        puf = CODICSigPUF(module, filter_passes=1)
+        assert puf.evaluation_passes() == 1
+        response = puf.evaluate(Challenge(SegmentAddress(1, 1)))
+        assert len(response) >= 0  # valid (possibly small) response
+
+    def test_filter_is_subset_of_raw(self, module):
+        challenge = Challenge(SegmentAddress(2, 3))
+        raw = CODICSigPUF(module, filter_passes=1).evaluate(challenge)
+        filtered = CODICSigPUF(module, filter_passes=5).evaluate(challenge)
+        # The intersect filter can only remove positions present in the base
+        # weak-cell set, so the filtered response stays close to the raw one.
+        assert filtered.jaccard_with(raw) > 0.8
+
+    def test_temperature_robustness(self, module):
+        puf = CODICSigPUF(module)
+        challenge = Challenge(SegmentAddress(0, 4))
+        cold = puf.evaluate(challenge, temperature_c=30.0)
+        hot = puf.evaluate(challenge, temperature_c=85.0)
+        assert cold.jaccard_with(hot) > 0.9
+
+
+class TestDRAMLatencyPUF:
+    def test_filtered_response_reasonably_repeatable(self, module):
+        puf = DRAMLatencyPUF(module)
+        challenge = Challenge(SegmentAddress(0, 1))
+        first = puf.evaluate(challenge)
+        second = puf.evaluate(challenge)
+        assert first.jaccard_with(second) > 0.5
+
+    def test_raw_response_noisier_than_filtered(self, module):
+        puf = DRAMLatencyPUF(module)
+        challenge = Challenge(SegmentAddress(0, 2))
+        raw_similarity = puf.evaluate_unfiltered(challenge).jaccard_with(
+            puf.evaluate_unfiltered(challenge)
+        )
+        filtered_similarity = puf.evaluate(challenge).jaccard_with(
+            puf.evaluate(challenge)
+        )
+        assert filtered_similarity > raw_similarity
+
+    def test_temperature_sensitivity_worse_than_codic(self, module):
+        challenge = Challenge(SegmentAddress(0, 3))
+        latency_puf = DRAMLatencyPUF(module)
+        codic_puf = CODICSigPUF(module)
+        latency_drift = latency_puf.evaluate(challenge, 30.0).jaccard_with(
+            latency_puf.evaluate(challenge, 85.0)
+        )
+        codic_drift = codic_puf.evaluate(challenge, 30.0).jaccard_with(
+            codic_puf.evaluate(challenge, 85.0)
+        )
+        assert codic_drift > latency_drift
+
+    def test_evaluation_passes_is_100(self, module):
+        assert DRAMLatencyPUF(module).evaluation_passes() == 100
+
+    def test_uniqueness_across_segments(self, module):
+        puf = DRAMLatencyPUF(module)
+        first = puf.evaluate(Challenge(SegmentAddress(0, 1)))
+        second = puf.evaluate(Challenge(SegmentAddress(0, 5)))
+        assert first.jaccard_with(second) < 0.2
+
+
+class TestPreLatPUF:
+    def test_repeatable(self, module):
+        puf = PreLatPUF(module)
+        challenge = Challenge(SegmentAddress(0, 1))
+        assert puf.evaluate(challenge).jaccard_with(puf.evaluate(challenge)) > 0.9
+
+    def test_poor_uniqueness_within_module(self, module):
+        # PreLatPUF failures are column-dominated, so different segments of
+        # the same module share many failing positions (Figure 5's dispersed
+        # Inter-Jaccard).
+        puf = PreLatPUF(module)
+        first = puf.evaluate(Challenge(SegmentAddress(0, 1)))
+        second = puf.evaluate(Challenge(SegmentAddress(3, 40)))
+        assert first.jaccard_with(second) > 0.2
+
+    def test_temperature_robust(self, module):
+        puf = PreLatPUF(module)
+        challenge = Challenge(SegmentAddress(1, 2))
+        assert puf.evaluate(challenge, 30.0).jaccard_with(
+            puf.evaluate(challenge, 85.0)
+        ) > 0.85
+
+    def test_evaluation_passes_default(self, module):
+        assert PreLatPUF(module).evaluation_passes() == 5
+
+
+class TestQualityShapes:
+    """End-to-end check of the Figure 5 quality shapes on a small population."""
+
+    @pytest.fixture
+    def modules(self, small_population):
+        return small_population.modules
+
+    def test_codic_best_repeatability_and_uniqueness(self, modules):
+        evaluator = PUFEvaluator(modules, lambda m: CODICSigPUF(m), pairs=25, seed=3)
+        quality = evaluator.quality()
+        assert quality.intra.mean > 0.9
+        assert quality.inter.mean < 0.1
+
+    def test_latency_puf_lower_repeatability(self, modules):
+        codic = PUFEvaluator(modules, lambda m: CODICSigPUF(m), pairs=25, seed=3).quality()
+        latency = PUFEvaluator(modules, lambda m: DRAMLatencyPUF(m), pairs=25, seed=3).quality()
+        assert latency.intra.mean < codic.intra.mean
+        assert latency.inter.mean < 0.1
+
+    def test_prelat_poor_uniqueness(self, modules):
+        prelat = PUFEvaluator(modules, lambda m: PreLatPUF(m), pairs=25, seed=3).quality()
+        codic = PUFEvaluator(modules, lambda m: CODICSigPUF(m), pairs=25, seed=3).quality()
+        assert prelat.inter.mean > codic.inter.mean
+        assert prelat.intra.mean > 0.9

@@ -1,0 +1,112 @@
+"""Tests for the Von Neumann extractor and the signature bitstream builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng.extractor import bits_to_bytes, bytes_to_bits, von_neumann_extract
+from repro.rng.stream import (
+    positions_to_address_bits,
+    positions_to_dense_bits,
+    signature_bitstream,
+)
+
+
+class TestVonNeumann:
+    def test_removes_bias(self):
+        rng = np.random.default_rng(0)
+        biased = (rng.random(200_000) < 0.8).astype(np.uint8)
+        extracted = von_neumann_extract(biased)
+        assert extracted.size > 0
+        assert abs(float(extracted.mean()) - 0.5) < 0.02
+
+    def test_alternating_stream_maps_to_known_output(self):
+        # Pairs (0,1) -> 0 for every pair.
+        bits = np.tile([0, 1], 100)
+        extracted = von_neumann_extract(bits)
+        assert np.all(extracted == 0)
+        assert extracted.size == 100
+
+    def test_constant_stream_yields_nothing(self):
+        assert von_neumann_extract(np.ones(1000, dtype=np.uint8)).size == 0
+
+    def test_odd_length_handled(self):
+        bits = np.array([0, 1, 1], dtype=np.uint8)
+        assert von_neumann_extract(bits).size == 1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            von_neumann_extract(np.array([0, 2], dtype=np.uint8))
+        with pytest.raises(ValueError):
+            von_neumann_extract(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_output_rate_quarter_for_unbiased_input(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 100_000).astype(np.uint8)
+        extracted = von_neumann_extract(bits)
+        assert extracted.size == pytest.approx(25_000, rel=0.05)
+
+
+class TestBitPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 256).astype(np.uint8)
+        assert np.array_equal(bytes_to_bits(bits_to_bytes(bits)), bits)
+
+    def test_truncates_partial_byte(self):
+        bits = np.ones(10, dtype=np.uint8)
+        assert len(bits_to_bytes(bits)) == 1
+
+    def test_empty(self):
+        assert bits_to_bytes(np.empty(0, dtype=np.uint8)) == b""
+        assert bytes_to_bits(b"").size == 0
+
+
+class TestSerialization:
+    def test_dense_bits(self):
+        dense = positions_to_dense_bits(frozenset({1, 5}), 8)
+        assert dense.tolist() == [0, 1, 0, 0, 0, 1, 0, 0]
+
+    def test_address_bits_length(self):
+        bits = positions_to_address_bits(frozenset({3, 200, 77}), address_bits=8)
+        assert bits.size == 24
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_address_bits_empty(self):
+        assert positions_to_address_bits(frozenset()).size == 0
+
+
+class TestSignatureBitstream:
+    def test_target_length_and_binaryness(self, small_population):
+        stream = signature_bitstream(
+            small_population.modules, target_bits=4_000, seed=3, mode="addresses"
+        )
+        assert stream.size == 4_000
+        assert set(np.unique(stream)).issubset({0, 1})
+
+    def test_whitened_stream_is_balanced(self, small_population):
+        stream = signature_bitstream(
+            small_population.modules, target_bits=20_000, seed=3, mode="addresses"
+        )
+        assert abs(float(stream.mean()) - 0.5) < 0.03
+
+    def test_values_mode_unwhitened_is_biased(self, small_population):
+        stream = signature_bitstream(
+            small_population.modules, target_bits=30_000, seed=3, whiten=False, mode="values"
+        )
+        # Raw CODIC-sig values are overwhelmingly 0 (weak cells are rare).
+        assert float(stream.mean()) < 0.05
+
+    def test_reproducible_for_same_seed(self, small_population):
+        first = signature_bitstream(small_population.modules, 2_000, seed=9, mode="addresses")
+        second = signature_bitstream(small_population.modules, 2_000, seed=9, mode="addresses")
+        assert np.array_equal(first, second)
+
+    def test_invalid_arguments(self, small_population):
+        with pytest.raises(ValueError):
+            signature_bitstream(small_population.modules, 0)
+        with pytest.raises(ValueError):
+            signature_bitstream([], 100)
+        with pytest.raises(ValueError):
+            signature_bitstream(small_population.modules, 100, mode="bogus")

@@ -1,0 +1,97 @@
+"""Tests for repro.utils (units, RNG derivation, table rendering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    GB,
+    KB,
+    MB,
+    derive_seed,
+    format_bytes,
+    format_energy_nj,
+    format_time_ns,
+    make_rng,
+    render_table,
+)
+
+
+class TestUnits:
+    def test_binary_prefixes(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_format_bytes_mb(self):
+        assert format_bytes(64 * MB) == "64.0 MB"
+
+    def test_format_bytes_gb(self):
+        assert format_bytes(8 * GB) == "8.0 GB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(512) == "512.0 B"
+
+    def test_format_time_ns_ranges(self):
+        assert format_time_ns(5.0).endswith("ns")
+        assert format_time_ns(5_000.0).endswith("us")
+        assert format_time_ns(5_000_000.0).endswith("ms")
+        assert format_time_ns(5_000_000_000.0).endswith("s")
+
+    def test_format_time_values(self):
+        assert format_time_ns(150_000.0) == "150.00 us"
+
+    def test_format_energy(self):
+        assert format_energy_nj(17.2) == "17.20 nJ"
+        assert format_energy_nj(17_200.0) == "17.20 uJ"
+        assert format_energy_nj(17_200_000.0) == "17.20 mJ"
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_parent_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_seed_is_nonnegative_63bit(self):
+        for labels in (("x",), ("y", 1), ("z", "w", 3)):
+            seed = derive_seed(7, *labels)
+            assert 0 <= seed < 2 ** 63
+
+    def test_make_rng_reproducible(self):
+        first = make_rng(5, "stream").random(8)
+        second = make_rng(5, "stream").random(8)
+        assert np.allclose(first, second)
+
+    def test_make_rng_streams_differ(self):
+        first = make_rng(5, "stream-a").random(8)
+        second = make_rng(5, "stream-b").random(8)
+        assert not np.allclose(first, second)
+
+
+class TestRenderTable:
+    def test_renders_headers_and_rows(self):
+        text = render_table(["a", "bb"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_title_line(self):
+        text = render_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_alignment_width(self):
+        text = render_table(["name", "v"], [["longer-name", 2]])
+        header, _, row = text.splitlines()
+        assert header.index("| v") == row.index("| 2")

@@ -1,0 +1,46 @@
+"""Benchmarks for the execution engine: cache warm-up and parallel fan-out.
+
+These quantify the two engine value propositions: a warm content-addressed
+cache turns a full report into pure disk reads, and the Monte Carlo grid
+fans out across worker processes without changing the results.
+"""
+
+from __future__ import annotations
+
+from repro.engine import ExperimentJob, ResultCache, monte_carlo_grid, run_jobs
+
+#: Substrate-level experiments cheap enough to run once per benchmark round.
+FAST_EXPERIMENTS = ("table1", "table2", "waveforms", "fig7", "fig7-energy", "table6")
+
+
+def test_bench_engine_cold_cache(run_once, tmp_path):
+    jobs = [ExperimentJob(experiment_id) for experiment_id in FAST_EXPERIMENTS]
+    cache = ResultCache(tmp_path)
+    outcomes = run_once(run_jobs, jobs, cache=cache)
+    assert len(outcomes) == len(FAST_EXPERIMENTS)
+    assert not any(outcome.cached for outcome in outcomes)
+    assert cache.stats.stores == len(FAST_EXPERIMENTS)
+
+
+def test_bench_engine_warm_cache(run_once, tmp_path):
+    jobs = [ExperimentJob(experiment_id) for experiment_id in FAST_EXPERIMENTS]
+    cache = ResultCache(tmp_path)
+    cold = run_jobs(jobs, cache=cache)
+    outcomes = run_once(run_jobs, jobs, cache=cache)
+    assert all(outcome.cached for outcome in outcomes)
+    for left, right in zip(cold, outcomes):
+        assert left.value == right.value
+
+
+def test_bench_monte_carlo_grid_parallel(run_once):
+    points = run_once(
+        monte_carlo_grid,
+        [2.0, 3.0, 4.0, 5.0],
+        [30.0, 60.0, 85.0],
+        samples=20_000,
+        workers=4,
+    )
+    assert len(points) == 12
+    # Flip rate grows with process variation at fixed temperature.
+    at_30c = [point for point in points if point.temperature_c == 30.0]
+    assert at_30c[0].flip_rate <= at_30c[-1].flip_rate

@@ -15,6 +15,7 @@ Two execution paths are provided:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +31,11 @@ from repro.circuit.process_variation import (
 )
 from repro.circuit.simulator import CellCircuitSimulator
 from repro.circuit.waveform import ControlWaveforms
+
+
+def _float_entropy(value: float) -> int:
+    """Lossless integer encoding of a float for ``SeedSequence`` entropy."""
+    return int.from_bytes(struct.pack("<d", float(value)), "little")
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,24 @@ class MonteCarloEngine:
             for temperature in temperatures_c
         ]
 
+    def point_seed(
+        self, variation_percent: float, temperature_c: float
+    ) -> np.random.SeedSequence:
+        """Collision-free seed for one sweep point.
+
+        The sweep coordinates enter the entropy tuple as their exact IEEE-754
+        bit patterns, so distinct points (including fractional temperatures)
+        never share a stream and per-point jobs can run on any worker while
+        remaining bit-identical to the serial sweep.
+        """
+        return np.random.SeedSequence(
+            entropy=(
+                self.seed,
+                _float_entropy(variation_percent),
+                _float_entropy(temperature_c),
+            )
+        )
+
     def run_point(
         self, variation_percent: float, temperature_c: float
     ) -> MonteCarloResult:
@@ -90,9 +114,7 @@ class MonteCarloEngine:
         thermal drift) is negative, i.e. the SA resolves the precharged
         bitline to 0 instead of the structural default of 1.
         """
-        rng = np.random.default_rng(
-            (self.seed * 1_000_003 + int(variation_percent * 100)) ^ int(temperature_c)
-        )
+        rng = np.random.default_rng(self.point_seed(variation_percent, temperature_c))
         parameters = VariationParameters(variation_percent=variation_percent)
         offsets = STRUCTURAL_SA_OFFSET + rng.normal(
             0.0, parameters.sa_offset_sigma, size=self.samples

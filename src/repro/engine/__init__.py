@@ -1,0 +1,52 @@
+"""repro.engine -- parallel experiment execution with result caching.
+
+The engine is the substrate every scaling feature builds on:
+
+* :mod:`repro.engine.jobs` -- picklable job descriptions (registry
+  experiments, Monte Carlo sweep points) with deterministic configs;
+* :mod:`repro.engine.executor` -- serial / ``ProcessPoolExecutor`` runners
+  with progress reporting and fail-fast error aggregation;
+* :mod:`repro.engine.cache` -- a content-addressed on-disk result store
+  keyed by SHA-256(kind + config + code fingerprint);
+* :mod:`repro.engine.serialization` -- lossless JSON round-trips for results
+  and the canonical encoding behind the cache keys;
+* :mod:`repro.engine.sweep` -- batch/grid fan-out for parameter studies.
+
+Quickstart
+----------
+>>> from repro.engine import ExperimentJob, ResultCache, run_jobs
+>>> outcomes = run_jobs([ExperimentJob("table2")], workers=1)
+>>> outcomes[0].value.experiment_id
+'table2'
+"""
+
+from repro.engine.cache import CacheStats, ResultCache, default_cache_dir, source_fingerprint
+from repro.engine.executor import EngineError, JobOutcome, run_jobs
+from repro.engine.jobs import ExperimentJob, Job, MonteCarloPointJob
+from repro.engine.serialization import (
+    canonical_json,
+    result_from_json,
+    result_to_json,
+    to_jsonable,
+)
+from repro.engine.sweep import grid, monte_carlo_grid, run_sweep
+
+__all__ = [
+    "CacheStats",
+    "EngineError",
+    "ExperimentJob",
+    "Job",
+    "JobOutcome",
+    "MonteCarloPointJob",
+    "ResultCache",
+    "canonical_json",
+    "default_cache_dir",
+    "grid",
+    "monte_carlo_grid",
+    "result_from_json",
+    "result_to_json",
+    "run_jobs",
+    "run_sweep",
+    "source_fingerprint",
+    "to_jsonable",
+]

@@ -1,0 +1,170 @@
+"""Serial and process-pool execution of engine jobs.
+
+:func:`run_jobs` is the single entry point: it resolves cache hits in the
+parent process, executes the misses either inline (``workers <= 1``) or on a
+``ProcessPoolExecutor``, stores fresh results back into the cache, reports
+per-job progress/timing through an optional callback, and aggregates
+failures.  Outcomes always come back in submission order, so a parallel run
+is observationally identical to a serial one (byte-identical ``--json``
+output is an acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import Job
+
+
+@dataclass
+class JobOutcome:
+    """Result of attempting one job."""
+
+    job: Job
+    value: Any = None
+    duration_s: float = 0.0
+    cached: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def describe(self) -> str:
+        """One-line progress summary (``table2  0.123s``, ``fig7  cached``)."""
+        status = "cached" if self.cached else f"{self.duration_s:.3f}s"
+        if not self.ok:
+            status = "FAILED"
+        return f"{self.job.job_id}  {status}"
+
+
+class EngineError(RuntimeError):
+    """One or more jobs failed; carries every failed outcome."""
+
+    def __init__(self, failures: Sequence[JobOutcome]):
+        self.failures = list(failures)
+        ids = ", ".join(outcome.job.job_id for outcome in self.failures)
+        super().__init__(f"{len(self.failures)} job(s) failed: {ids}")
+
+    def render(self) -> str:
+        """Full report with one traceback per failed job."""
+        sections = [str(self)]
+        for outcome in self.failures:
+            sections.append(f"--- {outcome.job.job_id} ---\n{outcome.error}")
+        return "\n".join(sections)
+
+
+#: Progress callback signature: (index_1_based, total, outcome).
+ProgressFn = Callable[[int, int, JobOutcome], None]
+
+
+def _execute(job: Job) -> tuple[Any, float]:
+    """Run one job and time it (also the picklable worker entry point)."""
+    start = time.perf_counter()
+    value = job.run()
+    return value, time.perf_counter() - start
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressFn | None = None,
+    fail_fast: bool = True,
+) -> list[JobOutcome]:
+    """Execute ``jobs`` and return their outcomes in submission order.
+
+    ``workers <= 1`` runs inline; otherwise misses fan out across a process
+    pool.  With ``fail_fast`` (the default) the first failure cancels pending
+    work and raises :class:`EngineError`; otherwise failed outcomes are
+    returned alongside successful ones with ``error`` set.
+    """
+    jobs = list(jobs)
+    total = len(jobs)
+    outcomes: list[JobOutcome | None] = [None] * total
+    done = 0
+
+    def finish(index: int, outcome: JobOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    # Serve cache hits up front, in the parent process.
+    pending: list[int] = []
+    for index, job in enumerate(jobs):
+        value = cache.get(job) if cache is not None else None
+        if value is not None:
+            finish(index, JobOutcome(job=job, value=value, cached=True))
+        else:
+            pending.append(index)
+
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            outcome = _run_one(jobs[index], cache)
+            finish(index, outcome)
+            if not outcome.ok and fail_fast:
+                raise EngineError([outcome])
+    else:
+        _run_pool(jobs, pending, workers, cache, finish, fail_fast)
+
+    failures = [outcome for outcome in outcomes if outcome is not None and not outcome.ok]
+    if failures and fail_fast:
+        raise EngineError(failures)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _run_one(job: Job, cache: ResultCache | None) -> JobOutcome:
+    """Execute one job inline, storing the result in the cache on success."""
+    try:
+        value, duration = _execute(job)
+    except Exception:
+        return JobOutcome(job=job, error=traceback.format_exc())
+    if cache is not None:
+        cache.put(job, value)
+    return JobOutcome(job=job, value=value, duration_s=duration)
+
+
+def _run_pool(
+    jobs: Sequence[Job],
+    pending: Sequence[int],
+    workers: int,
+    cache: ResultCache | None,
+    finish: Callable[[int, JobOutcome], None],
+    fail_fast: bool,
+) -> None:
+    """Fan pending jobs out across a process pool.
+
+    On a fail-fast failure, queued (not-yet-started) jobs are cancelled but
+    in-flight jobs are drained to completion so their results still land in
+    the cache — a retry after fixing the failure doesn't recompute them.
+    """
+    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        futures = {pool.submit(_execute, jobs[index]): index for index in pending}
+        failed = False
+        while futures:
+            completed, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in completed:
+                index = futures.pop(future)
+                job = jobs[index]
+                if future.cancelled():
+                    continue
+                try:
+                    value, duration = future.result()
+                except Exception:
+                    finish(index, JobOutcome(job=job, error=traceback.format_exc()))
+                    failed = True
+                    continue
+                if cache is not None:
+                    cache.put(job, value)
+                finish(index, JobOutcome(job=job, value=value, duration_s=duration))
+            if failed and fail_fast:
+                for future in futures:
+                    future.cancel()

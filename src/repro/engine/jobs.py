@@ -1,0 +1,134 @@
+"""Job abstractions executed by the engine.
+
+A job is a frozen, picklable description of one unit of work with a fully
+deterministic configuration: the same job run on any worker process produces
+the same result.  Two job kinds cover the repository today:
+
+* :class:`ExperimentJob` wraps one registry driver (``table2``, ``fig7``, ...)
+  in quick or paper-scale mode;
+* :class:`MonteCarloPointJob` wraps a single (variation, temperature) Monte
+  Carlo sweep point so that the Table 11 style sweeps can fan out per point.
+
+Each job also knows how to ``encode``/``decode`` its result to/from a
+JSON-safe dict, which is what the content-addressed cache persists.
+
+Cross-package imports happen lazily inside methods: the experiment registry
+imports this module at call time and vice versa, and jobs must stay cheap to
+unpickle inside ``ProcessPoolExecutor`` workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class Job:
+    """Abstract unit of work; subclasses are frozen dataclasses."""
+
+    #: Stable discriminator used in cache keys and decoded payloads.
+    kind: str = "job"
+
+    @property
+    def job_id(self) -> str:
+        """Human-readable identifier used in progress lines and stats."""
+        raise NotImplementedError
+
+    @property
+    def config(self) -> dict[str, Any]:
+        """Deterministic JSON-safe configuration; part of the cache key."""
+        raise NotImplementedError
+
+    def run(self) -> Any:
+        """Execute the job and return its result object."""
+        raise NotImplementedError
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        """Convert a result object to a JSON-safe dict for the cache."""
+        raise NotImplementedError
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        """Inverse of :meth:`encode`."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ExperimentJob(Job):
+    """One registry experiment (a paper table or figure) in one mode."""
+
+    experiment_id: str
+    quick: bool = True
+
+    kind = "experiment"
+
+    @property
+    def job_id(self) -> str:
+        return self.experiment_id
+
+    @property
+    def config(self) -> dict[str, Any]:
+        return {"experiment_id": self.experiment_id, "quick": self.quick}
+
+    def run(self) -> Any:
+        from repro.experiments.registry import EXPERIMENTS
+
+        try:
+            driver = EXPERIMENTS[self.experiment_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {self.experiment_id!r}; known experiments: "
+                f"{sorted(EXPERIMENTS)}"
+            ) from None
+        return driver(self.quick)
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return result.to_dict()
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        from repro.experiments.base import ExperimentResult
+
+        return ExperimentResult.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class MonteCarloPointJob(Job):
+    """One (variation, temperature) point of a Monte Carlo sweep."""
+
+    variation_percent: float
+    temperature_c: float
+    samples: int = 100_000
+    seed: int = 12345
+
+    kind = "montecarlo-point"
+
+    @property
+    def job_id(self) -> str:
+        return f"mc[{self.variation_percent:g}%,{self.temperature_c:g}C]"
+
+    @property
+    def config(self) -> dict[str, Any]:
+        return {
+            "variation_percent": self.variation_percent,
+            "temperature_c": self.temperature_c,
+            "samples": self.samples,
+            "seed": self.seed,
+        }
+
+    def run(self) -> Any:
+        from repro.circuit.montecarlo import MonteCarloEngine
+
+        engine = MonteCarloEngine(seed=self.seed, samples=self.samples)
+        return engine.run_point(self.variation_percent, self.temperature_c)
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return {
+            "variation_percent": result.variation_percent,
+            "temperature_c": result.temperature_c,
+            "samples": result.samples,
+            "bit_flips": result.bit_flips,
+        }
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        from repro.circuit.montecarlo import MonteCarloResult
+
+        return MonteCarloResult(**payload)

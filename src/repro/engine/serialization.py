@@ -1,0 +1,56 @@
+"""Lossless JSON serialization for engine jobs and their results.
+
+The cache stores every job result as a JSON blob, and cache keys are SHA-256
+digests of a *canonical* JSON encoding of the job configuration, so both
+directions must be deterministic:
+
+* :func:`to_jsonable` normalizes NumPy scalars/arrays and dataclass-free
+  containers into plain Python values that ``json`` can encode;
+* :func:`canonical_json` produces a byte-stable compact encoding (sorted
+  keys, no whitespace) suitable for hashing;
+* :func:`result_to_json` / :func:`result_from_json` round-trip an
+  :class:`~repro.experiments.base.ExperimentResult` losslessly (NumPy cells
+  come back as the native values they compare equal to).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.base import ExperimentResult
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into JSON-representable Python objects."""
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy array
+        return to_jsonable(tolist())
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return item()
+    raise TypeError(f"{value!r} of type {type(value).__name__} is not JSON-serializable")
+
+
+def canonical_json(value: Any) -> str:
+    """Byte-stable compact JSON encoding, used for content addressing."""
+    return json.dumps(to_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def result_to_json(result: "ExperimentResult", indent: int | None = 2) -> str:
+    """Serialize one experiment result to a JSON document."""
+    return json.dumps(result.to_dict(), indent=indent)
+
+
+def result_from_json(text: str) -> "ExperimentResult":
+    """Inverse of :func:`result_to_json`."""
+    from repro.experiments.base import ExperimentResult
+
+    return ExperimentResult.from_dict(json.loads(text))

@@ -2,21 +2,40 @@
 
 Usage::
 
-    python -m repro.experiments                 # run every quick-mode experiment
-    python -m repro.experiments table2 fig7     # run a subset
-    python -m repro.experiments --full fig5     # paper-scale sample counts
-    python -m repro.experiments --list          # list experiment identifiers
+    python -m repro.experiments                  # run every quick-mode experiment
+    python -m repro.experiments table2 fig7      # run a subset
+    python -m repro.experiments --full fig5      # paper-scale sample counts
+    python -m repro.experiments --jobs 4         # fan out across 4 processes
+    python -m repro.experiments --json table2    # machine-readable output
+    python -m repro.experiments --no-cache       # always recompute
+    python -m repro.experiments --list           # list experiment identifiers
 
-Each experiment prints the table/figure it reproduces in plain text, followed
-by a note quoting the paper's corresponding values.
+Execution goes through :mod:`repro.engine`: experiments run serially or on a
+process pool (``--jobs``), and results are served from a content-addressed
+on-disk cache (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
+``./.repro-cache``) keyed by experiment config plus a fingerprint of the
+package sources -- editing any source file invalidates stale entries.
+
+Tables render as plain text on stdout; with ``--json`` stdout is a single
+JSON document (identical for any ``--jobs`` value) and all progress/cache
+reporting stays on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.engine import (
+    EngineError,
+    ExperimentJob,
+    JobOutcome,
+    ResultCache,
+    default_cache_dir,
+    run_jobs,
+)
+from repro.experiments.registry import EXPERIMENTS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,7 +61,35 @@ def build_parser() -> argparse.ArgumentParser:
         dest="list_experiments",
         help="list the available experiment identifiers and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every experiment, bypassing the result cache",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one JSON document on stdout instead of rendered tables",
+    )
     return parser
+
+
+def _progress(done: int, total: int, outcome: JobOutcome) -> None:
+    print(f"[{done}/{total}] {outcome.describe()}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,11 +108,34 @@ def main(argv: list[str] | None = None) -> int:
         print(f"known experiments: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    for index, experiment_id in enumerate(selected):
-        result = run_experiment(experiment_id, quick=not args.full)
-        if index:
-            print()
-        print(result.render())
+    cache = None
+    if not args.no_cache:
+        try:
+            cache = ResultCache(args.cache_dir or default_cache_dir())
+        except OSError as error:
+            print(f"unusable cache directory: {error}", file=sys.stderr)
+            return 2
+
+    jobs = [ExperimentJob(experiment_id, quick=not args.full) for experiment_id in selected]
+    try:
+        outcomes = run_jobs(jobs, workers=args.jobs, cache=cache, progress=_progress)
+    except EngineError as error:
+        print(error.render(), file=sys.stderr)
+        return 1
+
+    if args.as_json:
+        report = {
+            outcome.job.experiment_id: outcome.value.to_dict() for outcome in outcomes
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        for index, outcome in enumerate(outcomes):
+            if index:
+                print()
+            print(outcome.value.render())
+
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()}", file=sys.stderr)
     return 0
 
 

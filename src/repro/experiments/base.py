@@ -47,8 +47,52 @@ class ExperimentResult:
 
     def row_by(self, header: str, value: object) -> Sequence[object]:
         """First row whose ``header`` column equals ``value``."""
-        index = list(self.headers).index(header)
+        try:
+            index = list(self.headers).index(header)
+        except ValueError:
+            raise KeyError(f"no column named {header!r}") from None
         for row in self.rows:
             if row[index] == value:
                 return row
         raise KeyError(f"no row with {header}={value!r}")
+
+    def to_dict(self) -> dict[str, object]:
+        """Lossless JSON-safe representation (see :mod:`repro.engine.serialization`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_jsonable_cell(cell) for cell in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        result = cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+        )
+        for row in payload["rows"]:
+            result.add_row(*row)
+        for note in payload["notes"]:
+            result.add_note(note)
+        return result
+
+
+def _jsonable_cell(cell: object) -> object:
+    """Coerce one table cell to a JSON-representable scalar.
+
+    NumPy scalars compare equal to the native values they convert to, so the
+    round trip preserves dataclass equality even when a driver stored e.g. an
+    ``np.float64``.
+    """
+    if cell is None or isinstance(cell, (str, bool, int, float)):
+        return cell
+    item = getattr(cell, "item", None)
+    if callable(item):  # numpy scalar
+        return item()
+    raise TypeError(
+        f"cell {cell!r} of type {type(cell).__name__} is not JSON-serializable"
+    )

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine.cache import ResultCache
 
 from repro.experiments import (
     coldboot_experiments,
@@ -44,14 +47,33 @@ def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
     return driver(quick)
 
 
-def run_all(quick: bool = True) -> dict[str, ExperimentResult]:
-    """Run every registered experiment and return results keyed by id."""
-    return {
-        experiment_id: driver(quick) for experiment_id, driver in EXPERIMENTS.items()
-    }
+def run_all(
+    quick: bool = True,
+    *,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+) -> dict[str, ExperimentResult]:
+    """Run every registered experiment and return results keyed by id.
+
+    Execution is routed through :mod:`repro.engine`: ``jobs > 1`` fans the
+    drivers out across worker processes, and passing a
+    :class:`~repro.engine.cache.ResultCache` serves repeat invocations from
+    disk.  Result ordering matches the registry regardless of worker count.
+    """
+    # Imported lazily: the engine's job classes resolve this registry at call
+    # time, so a module-level import here would be circular.
+    from repro.engine.executor import run_jobs
+    from repro.engine.jobs import ExperimentJob
+
+    outcomes = run_jobs(
+        [ExperimentJob(experiment_id, quick=quick) for experiment_id in EXPERIMENTS],
+        workers=jobs,
+        cache=cache,
+    )
+    return {outcome.job.experiment_id: outcome.value for outcome in outcomes}
 
 
-def render_report(quick: bool = True) -> str:
+def render_report(quick: bool = True, *, jobs: int = 1) -> str:
     """Render a full plain-text reproduction report (all experiments)."""
-    sections = [result.render() for result in run_all(quick).values()]
+    sections = [result.render() for result in run_all(quick, jobs=jobs).values()]
     return "\n\n".join(sections)

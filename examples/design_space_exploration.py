@@ -88,12 +88,15 @@ def main() -> None:
 
     # Robustness corner of the design space: sweep CODIC-sigsa flip rates over
     # the full (process variation x temperature) grid.  Each grid point is an
-    # independent engine job with its own SeedSequence-derived stream, so the
-    # sweep fans out across worker processes yet reproduces the serial result
-    # exactly.
+    # independent engine job with its own SeedSequence-derived stream, and
+    # shard_size additionally splits each point's sample range across the same
+    # worker pool (canonical per-block streams), so the sweep fans out both
+    # across and *within* points yet reproduces the serial result exactly.
     variations = [2.0, 3.0, 4.0, 5.0]
     temperatures = [30.0, 60.0, 85.0]
-    points = monte_carlo_grid(variations, temperatures, samples=20_000, workers=4)
+    points = monte_carlo_grid(
+        variations, temperatures, samples=20_000, workers=4, shard_size=5_000
+    )
     rows = [
         [f"{point.variation_percent:.0f}%", f"{point.temperature_c:.0f}C",
          round(point.flip_percent, 3)]

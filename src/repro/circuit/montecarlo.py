@@ -11,6 +11,16 @@ Two execution paths are provided:
   (sign of the effective offset) -- this is what the table-scale sweeps use;
 * a *full-simulation* path that runs the time-stepped circuit simulator for a
   subset of samples, used by the tests to check that both paths agree.
+
+The vectorized path draws its offsets in fixed canonical *blocks* of
+:data:`MC_SAMPLE_BLOCK` samples.  Block ``b`` of a sweep point always uses
+the stream ``point_seed(...).spawn()[b]`` (addressed directly via its spawn
+key), and a sample's flip decision depends only on its absolute index -- so
+any partition of the sample range into shards, executed on any workers in
+any order, merges to exactly the serial result.  This is what lets
+``repro.engine`` split one 100,000-sample Table 11 point across a process
+pool (and cache the shards individually) without changing a single bit of
+the output.
 """
 
 from __future__ import annotations
@@ -36,6 +46,14 @@ from repro.circuit.waveform import ControlWaveforms
 def _float_entropy(value: float) -> int:
     """Lossless integer encoding of a float for ``SeedSequence`` entropy."""
     return int.from_bytes(struct.pack("<d", float(value)), "little")
+
+
+#: Samples per canonical RNG block of the vectorized Monte Carlo path.  Each
+#: block owns an independent ``SeedSequence`` spawn child of the point seed,
+#: which makes flip counts independent of how a sample range is partitioned
+#: into shards.  Changing this constant changes the sampled offsets (it is
+#: part of the deterministic scheme, like the seed itself).
+MC_SAMPLE_BLOCK = 8192
 
 
 @dataclass(frozen=True)
@@ -105,26 +123,71 @@ class MonteCarloEngine:
             )
         )
 
+    def block_seed(
+        self, variation_percent: float, temperature_c: float, block: int
+    ) -> np.random.SeedSequence:
+        """Stream of canonical block ``block`` of one sweep point.
+
+        Addressed directly by spawn key: this is the ``block``-th child that
+        ``point_seed(...).spawn(...)`` would produce, without the stateful
+        spawn counter, so shards can materialize any block independently.
+        """
+        return np.random.SeedSequence(
+            entropy=self.point_seed(variation_percent, temperature_c).entropy,
+            spawn_key=(block,),
+        )
+
+    def shard_flips(
+        self, variation_percent: float, temperature_c: float, start: int, stop: int
+    ) -> int:
+        """Bit flips among samples ``[start, stop)`` of one sweep point.
+
+        A sample flips when its effective SA offset (static mismatch plus
+        thermal drift) is negative, i.e. the SA resolves the precharged
+        bitline to 0 instead of the structural default of 1.  Each sample's
+        offset comes from its canonical block stream, so
+        ``shard_flips(v, t, 0, n) == sum(shard_flips over any partition of
+        [0, n))`` -- bit-for-bit, for any shard boundaries.
+        """
+        if not 0 <= start <= stop:
+            raise ValueError(f"invalid sample range [{start}, {stop})")
+        if start == stop:
+            return 0
+        parameters = VariationParameters(variation_percent=variation_percent)
+        delta_t = abs(temperature_c - NOMINAL_TEMPERATURE_C)
+        thermal_sigma = THERMAL_OFFSET_SIGMA_PER_DEGREE * delta_t
+        flips = 0
+        first_block = start // MC_SAMPLE_BLOCK
+        last_block = (stop - 1) // MC_SAMPLE_BLOCK
+        for block in range(first_block, last_block + 1):
+            base = block * MC_SAMPLE_BLOCK
+            rng = np.random.default_rng(
+                self.block_seed(variation_percent, temperature_c, block)
+            )
+            # Always draw the full block so a sample's offset depends only on
+            # its absolute index, never on the shard boundaries around it.
+            offsets = STRUCTURAL_SA_OFFSET + rng.normal(
+                0.0, parameters.sa_offset_sigma, size=MC_SAMPLE_BLOCK
+            )
+            if delta_t > 0:
+                offsets = offsets + rng.normal(
+                    0.0, thermal_sigma, size=MC_SAMPLE_BLOCK
+                )
+            lo = max(start - base, 0)
+            hi = min(stop - base, MC_SAMPLE_BLOCK)
+            flips += int(np.count_nonzero(offsets[lo:hi] < 0.0))
+        return flips
+
     def run_point(
         self, variation_percent: float, temperature_c: float
     ) -> MonteCarloResult:
         """Vectorized Monte Carlo at one (variation, temperature) point.
 
-        A sample flips when its effective SA offset (static mismatch plus
-        thermal drift) is negative, i.e. the SA resolves the precharged
-        bitline to 0 instead of the structural default of 1.
+        Runs the canonical block scheme over the full sample range, so the
+        result is identical to merging :meth:`shard_flips` over any
+        partition of ``[0, samples)``.
         """
-        rng = np.random.default_rng(self.point_seed(variation_percent, temperature_c))
-        parameters = VariationParameters(variation_percent=variation_percent)
-        offsets = STRUCTURAL_SA_OFFSET + rng.normal(
-            0.0, parameters.sa_offset_sigma, size=self.samples
-        )
-        delta_t = abs(temperature_c - NOMINAL_TEMPERATURE_C)
-        if delta_t > 0:
-            offsets = offsets + rng.normal(
-                0.0, THERMAL_OFFSET_SIGMA_PER_DEGREE * delta_t, size=self.samples
-            )
-        flips = int(np.count_nonzero(offsets < 0.0))
+        flips = self.shard_flips(variation_percent, temperature_c, 0, self.samples)
         return MonteCarloResult(
             variation_percent=variation_percent,
             temperature_c=temperature_c,

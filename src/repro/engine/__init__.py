@@ -3,11 +3,15 @@
 The engine is the substrate every scaling feature builds on:
 
 * :mod:`repro.engine.jobs` -- picklable job descriptions (registry
-  experiments, Monte Carlo sweep points) with deterministic configs;
+  experiments, Monte Carlo sweep points/shards, PUF pair batches) with
+  deterministic configs, plus the :class:`ShardedJob` split/merge protocol;
 * :mod:`repro.engine.executor` -- serial / ``ProcessPoolExecutor`` runners
   with progress reporting and fail-fast error aggregation;
+* :mod:`repro.engine.sharding` -- :func:`run_sharded`, which expands sharded
+  jobs so that the work *inside* one job (Monte Carlo samples, Jaccard
+  pairs) fans out across the same pool, bit-identical to a serial run;
 * :mod:`repro.engine.cache` -- a content-addressed on-disk result store
-  keyed by SHA-256(kind + config + code fingerprint);
+  keyed by SHA-256(kind + config + code fingerprint), with LRU pruning;
 * :mod:`repro.engine.serialization` -- lossless JSON round-trips for results
   and the canonical encoding behind the cache keys;
 * :mod:`repro.engine.sweep` -- batch/grid fan-out for parameter studies.
@@ -22,13 +26,23 @@ Quickstart
 
 from repro.engine.cache import CacheStats, ResultCache, default_cache_dir, source_fingerprint
 from repro.engine.executor import EngineError, JobOutcome, run_jobs
-from repro.engine.jobs import ExperimentJob, Job, MonteCarloPointJob
+from repro.engine.jobs import (
+    ExperimentJob,
+    Job,
+    MonteCarloPointJob,
+    MonteCarloShardJob,
+    PUFPairsJob,
+    PUFPairsShardJob,
+    ShardedJob,
+    shard_ranges,
+)
 from repro.engine.serialization import (
     canonical_json,
     result_from_json,
     result_to_json,
     to_jsonable,
 )
+from repro.engine.sharding import run_sharded
 from repro.engine.sweep import grid, monte_carlo_grid, run_sweep
 
 __all__ = [
@@ -38,7 +52,11 @@ __all__ = [
     "Job",
     "JobOutcome",
     "MonteCarloPointJob",
+    "MonteCarloShardJob",
+    "PUFPairsJob",
+    "PUFPairsShardJob",
     "ResultCache",
+    "ShardedJob",
     "canonical_json",
     "default_cache_dir",
     "grid",
@@ -46,7 +64,9 @@ __all__ = [
     "result_from_json",
     "result_to_json",
     "run_jobs",
+    "run_sharded",
     "run_sweep",
+    "shard_ranges",
     "source_fingerprint",
     "to_jsonable",
 ]

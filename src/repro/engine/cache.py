@@ -12,6 +12,11 @@ Entries are stored as ``<key[:2]>/<key>.json`` under the cache directory and
 written atomically (temp file + rename), so concurrent runs sharing one cache
 directory never observe torn blobs.  The cache keeps hit/miss/store counters
 for the CLI's summary line and the acceptance tests.
+
+The store is bounded on request rather than on every write: :meth:`prune`
+evicts least-recently-used blobs (every hit refreshes its blob's mtime)
+until the directory fits a byte budget.  The CLI exposes this as
+``--cache-max-mb`` after a run and as the ``cache-prune`` subcommand.
 """
 
 from __future__ import annotations
@@ -116,6 +121,10 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.misses += 1
             return None
+        try:
+            os.utime(path)  # refresh recency for LRU pruning
+        except OSError:
+            pass
         self.stats.hits += 1
         return value
 
@@ -157,6 +166,48 @@ class ResultCache:
     def iter_paths(self) -> Iterator[Path]:
         """Paths of every stored blob, across all code versions."""
         yield from sorted(self.cache_dir.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total size of every stored blob."""
+        total = 0
+        for path in self.iter_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Evict least-recently-used blobs until the store fits ``max_bytes``.
+
+        Recency is the blob mtime, which every :meth:`get` hit refreshes, so
+        entries a live workload keeps touching survive while abandoned
+        configurations (old code versions, one-off sweeps) age out first.
+        Returns ``(entries_removed, bytes_freed)``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        entries = []
+        for path in self.iter_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        freed = 0
+        for _, path, size in sorted(entries, key=lambda entry: (entry[0], str(entry[1]))):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        return removed, freed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_paths())

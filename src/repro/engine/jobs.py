@@ -2,12 +2,24 @@
 
 A job is a frozen, picklable description of one unit of work with a fully
 deterministic configuration: the same job run on any worker process produces
-the same result.  Two job kinds cover the repository today:
+the same result.  The job kinds covering the repository today:
 
 * :class:`ExperimentJob` wraps one registry driver (``table2``, ``fig7``, ...)
   in quick or paper-scale mode;
 * :class:`MonteCarloPointJob` wraps a single (variation, temperature) Monte
-  Carlo sweep point so that the Table 11 style sweeps can fan out per point.
+  Carlo sweep point so that the Table 11 style sweeps can fan out per point;
+* :class:`MonteCarloShardJob` is a contiguous sample range of one such point;
+* :class:`PUFPairsJob` / :class:`PUFPairsShardJob` are a batch (or a
+  contiguous pair range of a batch) of Jaccard pairs for one Figure 5/6 cell
+  or the aging study.
+
+Jobs whose work splits into independent units additionally implement the
+:class:`ShardedJob` protocol (``shard_jobs`` -> run each shard -> ``merge``),
+which :func:`repro.engine.sharding.run_sharded` uses to schedule the shards
+of many jobs on one process pool and cache them individually.  Because every
+unit (Monte Carlo sample, Jaccard pair) owns an index-derived RNG stream,
+merged shard results are bit-identical to a serial ``run()`` for every shard
+size and worker count.
 
 Each job also knows how to ``encode``/``decode`` its result to/from a
 JSON-safe dict, which is what the content-addressed cache persists.
@@ -20,6 +32,7 @@ unpickle inside ``ProcessPoolExecutor`` workers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any
 
 
@@ -52,9 +65,54 @@ class Job:
         raise NotImplementedError
 
 
+class ShardedJob(Job):
+    """A job whose work splits into independently runnable sub-jobs.
+
+    Contract: for any ``shard_size``, ``merge([sub.run() for sub in
+    shard_jobs(shard_size)])`` is bit-identical to ``run()``.  Sub-jobs may
+    themselves be sharded (e.g. an experiment splits into sweep points, each
+    point into sample ranges); :func:`repro.engine.sharding.run_sharded`
+    expands recursively.  Sharding is purely an execution concern
+    (parallelism plus per-shard caching), never a semantic one: shard
+    boundaries must not influence the merged value.
+    """
+
+    def shard_jobs(self, shard_size: int) -> "list[Job] | None":
+        """Sub-jobs of at most ``shard_size`` units, or ``None`` to run whole."""
+        raise NotImplementedError
+
+    def merge(self, values: list[Any]) -> Any:
+        """Combine sub-job results (in shard order) into this job's result."""
+        raise NotImplementedError
+
+
+def shard_ranges(total: int, shard_size: int) -> list[tuple[int, int]]:
+    """``[start, stop)`` ranges of at most ``shard_size`` covering ``total``.
+
+    Boundaries are aligned to multiples of ``shard_size``, so growing
+    ``total`` (e.g. re-running a sweep with more samples) leaves every
+    previously computed shard job identical -- only the tail is new work.
+
+    >>> shard_ranges(10, 4)
+    [(0, 4), (4, 8), (8, 10)]
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    return [
+        (start, min(start + shard_size, total))
+        for start in range(0, total, shard_size)
+    ]
+
+
 @dataclass(frozen=True)
-class ExperimentJob(Job):
-    """One registry experiment (a paper table or figure) in one mode."""
+class ExperimentJob(ShardedJob):
+    """One registry experiment (a paper table or figure) in one mode.
+
+    Experiments with a shard plan (Table 11, Figures 5/6, aging) split into
+    their unit jobs -- sweep points or pair batches -- which shard further.
+    """
 
     experiment_id: str
     quick: bool = True
@@ -81,6 +139,19 @@ class ExperimentJob(Job):
             ) from None
         return driver(self.quick)
 
+    def shard_jobs(self, shard_size: int) -> list[Job] | None:
+        from repro.experiments.sharding import plan_for
+
+        plan = plan_for(self.experiment_id)
+        if plan is None:
+            return None
+        return list(plan.unit_jobs(self.quick))
+
+    def merge(self, values: list[Any]) -> Any:
+        from repro.experiments.sharding import plan_for
+
+        return plan_for(self.experiment_id).assemble(self.quick, values)
+
     def encode(self, result: Any) -> dict[str, Any]:
         return result.to_dict()
 
@@ -91,7 +162,7 @@ class ExperimentJob(Job):
 
 
 @dataclass(frozen=True)
-class MonteCarloPointJob(Job):
+class MonteCarloPointJob(ShardedJob):
     """One (variation, temperature) point of a Monte Carlo sweep."""
 
     variation_percent: float
@@ -120,6 +191,37 @@ class MonteCarloPointJob(Job):
         engine = MonteCarloEngine(seed=self.seed, samples=self.samples)
         return engine.run_point(self.variation_percent, self.temperature_c)
 
+    def shard_jobs(self, shard_size: int) -> list[Job] | None:
+        from repro.circuit.montecarlo import MC_SAMPLE_BLOCK
+
+        # Align shards to the canonical RNG blocks: a boundary inside a block
+        # would make both neighbouring shards draw that whole block.  Safe for
+        # bit-identity (per-sample values are index-addressed) and for cache
+        # reuse (alignment depends only on shard_size).
+        aligned = max(shard_size // MC_SAMPLE_BLOCK, 1) * MC_SAMPLE_BLOCK
+        if aligned >= self.samples:
+            return None
+        return [
+            MonteCarloShardJob(
+                variation_percent=self.variation_percent,
+                temperature_c=self.temperature_c,
+                start=start,
+                stop=stop,
+                seed=self.seed,
+            )
+            for start, stop in shard_ranges(self.samples, aligned)
+        ]
+
+    def merge(self, values: list[Any]) -> Any:
+        from repro.circuit.montecarlo import MonteCarloResult
+
+        return MonteCarloResult(
+            variation_percent=self.variation_percent,
+            temperature_c=self.temperature_c,
+            samples=self.samples,
+            bit_flips=sum(int(value) for value in values),
+        )
+
     def encode(self, result: Any) -> dict[str, Any]:
         return {
             "variation_percent": result.variation_percent,
@@ -132,3 +234,222 @@ class MonteCarloPointJob(Job):
         from repro.circuit.montecarlo import MonteCarloResult
 
         return MonteCarloResult(**payload)
+
+
+@dataclass(frozen=True)
+class MonteCarloShardJob(Job):
+    """Samples ``[start, stop)`` of one Monte Carlo sweep point.
+
+    The config deliberately excludes the point's total sample count: the
+    canonical block streams make a shard's flip count a function of its range
+    alone, so re-running a sweep with more samples re-uses every previously
+    cached shard and only computes the new tail.
+    """
+
+    variation_percent: float
+    temperature_c: float
+    start: int
+    stop: int
+    seed: int = 12345
+
+    kind = "montecarlo-shard"
+
+    @property
+    def job_id(self) -> str:
+        return (
+            f"mc[{self.variation_percent:g}%,{self.temperature_c:g}C]"
+            f"[{self.start}:{self.stop}]"
+        )
+
+    @property
+    def config(self) -> dict[str, Any]:
+        return {
+            "variation_percent": self.variation_percent,
+            "temperature_c": self.temperature_c,
+            "start": self.start,
+            "stop": self.stop,
+            "seed": self.seed,
+        }
+
+    def run(self) -> Any:
+        from repro.circuit.montecarlo import MonteCarloEngine
+
+        engine = MonteCarloEngine(seed=self.seed)
+        return engine.shard_flips(
+            self.variation_percent, self.temperature_c, self.start, self.stop
+        )
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return {"bit_flips": int(result)}
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        return int(payload["bit_flips"])
+
+
+@lru_cache(maxsize=1)
+def _paper_population():
+    """Per-process memo of the paper's module population.
+
+    PUF evaluation only reads seed-derived responses (it never writes rows),
+    so sharing one population across every pair job in a worker process is
+    safe and avoids rebuilding 136 chips per shard.
+    """
+    from repro.dram.population import paper_population
+
+    return paper_population()
+
+
+def _run_puf_pairs(spec: "PUFPairsJob", start: int, stop: int) -> dict[str, list[float]]:
+    """Evaluate pairs ``[start, stop)`` of one PUF pair batch."""
+    from repro.experiments.puf_experiments import PUF_FACTORIES
+    from repro.puf.evaluation import PUFEvaluator
+
+    population = _paper_population()
+    if spec.voltage == "all":
+        modules = population.modules
+    elif spec.voltage in ("ddr3", "ddr3l"):
+        modules = population.modules_by_voltage(spec.voltage == "ddr3l")
+    else:
+        raise ValueError(
+            f"unknown voltage class {spec.voltage!r}; expected all/ddr3/ddr3l"
+        )
+    try:
+        factory = PUF_FACTORIES[spec.puf]
+    except KeyError:
+        raise KeyError(
+            f"unknown PUF {spec.puf!r}; known PUFs: {sorted(PUF_FACTORIES)}"
+        ) from None
+    evaluator = PUFEvaluator(
+        modules,
+        factory,
+        pairs=spec.pairs,  # the batch total, so range checks stay meaningful
+        segment_bytes=spec.segment_bytes,
+        seed=spec.seed,
+    )
+    if spec.mode == "quality":
+        intra, inter = evaluator.quality_shard(
+            start, stop, temperature_c=spec.base_temperature_c
+        )
+        return {"intra": intra.values, "inter": inter.values}
+    if spec.mode == "temperature":
+        distribution = evaluator.temperature_shard(
+            spec.temperature_delta_c, start, stop,
+            base_temperature_c=spec.base_temperature_c,
+        )
+        return {"intra": distribution.values}
+    if spec.mode == "aging":
+        distribution = evaluator.aging_shard(
+            start, stop, aging_hours=spec.aging_hours
+        )
+        return {"intra": distribution.values}
+    raise ValueError(
+        f"unknown mode {spec.mode!r}; expected quality/temperature/aging"
+    )
+
+
+def _decode_pair_values(payload: dict[str, Any]) -> dict[str, list[float]]:
+    return {key: [float(value) for value in values] for key, values in payload.items()}
+
+
+@dataclass(frozen=True)
+class PUFPairsJob(ShardedJob):
+    """A batch of Jaccard pairs: one Figure 5/6 cell or the aging study.
+
+    The result value is a dict of Jaccard index lists in pair-index order --
+    ``{"intra": [...], "inter": [...]}`` for quality mode, ``{"intra": [...]}``
+    for temperature/aging.  Per-pair RNG streams make the value independent
+    of sharding and worker count.
+    """
+
+    puf: str
+    mode: str  # "quality" | "temperature" | "aging"
+    pairs: int
+    seed: int
+    voltage: str = "all"  # "all" | "ddr3" | "ddr3l"
+    base_temperature_c: float = 30.0
+    temperature_delta_c: float = 0.0
+    aging_hours: float = 8.0
+    segment_bytes: int = 8192
+
+    kind = "puf-pairs"
+
+    @property
+    def job_id(self) -> str:
+        detail = f"dT={self.temperature_delta_c:g}" if self.mode == "temperature" else self.voltage
+        return f"{self.mode}[{self.puf},{detail}]"
+
+    @property
+    def config(self) -> dict[str, Any]:
+        return {
+            "puf": self.puf,
+            "mode": self.mode,
+            "pairs": self.pairs,
+            "seed": self.seed,
+            "voltage": self.voltage,
+            "base_temperature_c": self.base_temperature_c,
+            "temperature_delta_c": self.temperature_delta_c,
+            "aging_hours": self.aging_hours,
+            "segment_bytes": self.segment_bytes,
+        }
+
+    def run(self) -> Any:
+        return _run_puf_pairs(self, 0, self.pairs)
+
+    def shard_jobs(self, shard_size: int) -> list[Job] | None:
+        if shard_size >= self.pairs:
+            return None
+        return [
+            PUFPairsShardJob(batch=self, start=start, stop=stop)
+            for start, stop in shard_ranges(self.pairs, shard_size)
+        ]
+
+    def merge(self, values: list[Any]) -> Any:
+        merged: dict[str, list[float]] = {}
+        for value in values:
+            for key, part in value.items():
+                merged.setdefault(key, []).extend(part)
+        return merged
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return result
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        return _decode_pair_values(payload)
+
+
+@dataclass(frozen=True)
+class PUFPairsShardJob(Job):
+    """Pairs ``[start, stop)`` of one PUF pair batch.
+
+    Wraps the parent batch job verbatim so batch parameters have one source
+    of truth.  The config inherits everything from the batch *except* its
+    total pair count (like :class:`MonteCarloShardJob`), so growing a study
+    re-uses every cached shard.
+    """
+
+    batch: PUFPairsJob
+    start: int
+    stop: int
+
+    kind = "puf-pairs-shard"
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.batch.job_id}[{self.start}:{self.stop}]"
+
+    @property
+    def config(self) -> dict[str, Any]:
+        config = dict(self.batch.config)
+        del config["pairs"]  # shard results do not depend on the batch total
+        config["start"] = self.start
+        config["stop"] = self.stop
+        return config
+
+    def run(self) -> Any:
+        return _run_puf_pairs(self.batch, self.start, self.stop)
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return result
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        return _decode_pair_values(payload)

@@ -1,0 +1,125 @@
+"""Sharded execution: split jobs, schedule every shard on one pool, merge.
+
+:func:`run_sharded` is the intra-job parallelism entry point.  It expands
+each :class:`~repro.engine.jobs.ShardedJob` recursively (an experiment into
+its sweep points / pair batches, each of those into sample or pair ranges),
+runs the resulting leaves through the ordinary
+:func:`~repro.engine.executor.run_jobs` -- so all shards of all jobs share
+one process pool and each shard hits the content-addressed cache
+individually -- and merges shard results bottom-up into one
+:class:`~repro.engine.executor.JobOutcome` per submitted job.
+
+Because every leaf owns a partition-independent RNG stream, merged outcomes
+are bit-identical to a serial ``run()`` for every ``shard_size`` and worker
+count.  ``shard_size`` is therefore *not* part of any cache key: it only
+decides how the same deterministic work is scheduled.
+
+Cache interaction:
+
+* a job already cached at any level short-circuits its whole subtree;
+* fresh leaf results are cached by ``run_jobs`` as usual;
+* merged intermediate and top-level results are written back too, so a warm
+  re-run is served without touching a single shard -- while a re-run with
+  *more* samples misses only the parents and the new tail shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import JobOutcome, ProgressFn, run_jobs
+from repro.engine.jobs import Job, ShardedJob
+
+
+@dataclass
+class _Node:
+    """One job in the expansion tree of a sharded run."""
+
+    job: Job
+    children: "list[_Node]" = field(default_factory=list)
+    outcome: JobOutcome | None = None  # set for cache hits and executed leaves
+
+
+def _expand(job: Job, shard_size: int, cache: ResultCache | None) -> _Node:
+    node = _Node(job)
+    subs = job.shard_jobs(shard_size) if isinstance(job, ShardedJob) else None
+    if not subs:
+        return node  # leaf: executed (or cache-served) by run_jobs
+    cached = cache.get(job) if cache is not None else None
+    if cached is not None:
+        node.outcome = JobOutcome(job=job, value=cached, cached=True)
+        return node
+    node.children = [_expand(sub, shard_size, cache) for sub in subs]
+    return node
+
+
+def _leaves(node: _Node, out: "list[_Node]") -> None:
+    if node.outcome is not None:
+        return
+    if not node.children:
+        out.append(node)
+        return
+    for child in node.children:
+        _leaves(child, out)
+
+
+def _assemble(node: _Node, cache: ResultCache | None) -> JobOutcome:
+    if node.outcome is not None:
+        return node.outcome
+    child_outcomes = [_assemble(child, cache) for child in node.children]
+    failures = [outcome for outcome in child_outcomes if not outcome.ok]
+    if failures:  # only reachable with fail_fast=False
+        errors = "\n".join(
+            f"[{outcome.job.job_id}] {outcome.error}" for outcome in failures
+        )
+        return JobOutcome(job=node.job, error=errors)
+    value = node.job.merge([outcome.value for outcome in child_outcomes])
+    if cache is not None:
+        cache.put(node.job, value)
+    return JobOutcome(
+        job=node.job,
+        value=value,
+        duration_s=sum(outcome.duration_s for outcome in child_outcomes),
+        cached=all(outcome.cached for outcome in child_outcomes),
+    )
+
+
+def run_sharded(
+    jobs: Sequence[Job],
+    *,
+    shard_size: int | None = None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: ProgressFn | None = None,
+    fail_fast: bool = True,
+) -> list[JobOutcome]:
+    """Execute ``jobs``, splitting shardable ones into ``shard_size``-unit
+    shards scheduled together on one pool; outcomes come back merged, in
+    submission order, bit-identical to a serial run for any configuration.
+
+    ``shard_size=None`` (or jobs that decline to shard) degrades exactly to
+    :func:`run_jobs`.  Progress is reported at leaf granularity.
+    """
+    if shard_size is None:
+        return run_jobs(
+            jobs, workers=workers, cache=cache, progress=progress, fail_fast=fail_fast
+        )
+    if shard_size <= 0:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    roots = [_expand(job, shard_size, cache) for job in jobs]
+    leaves: list[_Node] = []
+    for root in roots:
+        _leaves(root, leaves)
+    leaf_outcomes = run_jobs(
+        [leaf.job for leaf in leaves],
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        fail_fast=fail_fast,
+    )
+    for leaf, outcome in zip(leaves, leaf_outcomes):
+        leaf.outcome = outcome
+    outcomes = [_assemble(root, cache) for root in roots]
+    return outcomes

@@ -12,8 +12,9 @@ from itertools import product
 from typing import Any, Callable, Sequence
 
 from repro.engine.cache import ResultCache
-from repro.engine.executor import ProgressFn, run_jobs
+from repro.engine.executor import ProgressFn
 from repro.engine.jobs import Job, MonteCarloPointJob
+from repro.engine.sharding import run_sharded
 
 
 def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
@@ -33,12 +34,19 @@ def run_sweep(
     points: Sequence[dict[str, Any]],
     *,
     workers: int = 1,
+    shard_size: int | None = None,
     cache: ResultCache | None = None,
     progress: ProgressFn | None = None,
 ) -> list[Any]:
-    """Run one job per grid point; results come back in grid order."""
-    outcomes = run_jobs(
+    """Run one job per grid point; results come back in grid order.
+
+    With ``shard_size``, shardable point jobs additionally split *within*
+    the point (sample/pair ranges), so even a single-point sweep saturates
+    the worker pool -- results are unchanged for any configuration.
+    """
+    outcomes = run_sharded(
         [make_job(point) for point in points],
+        shard_size=shard_size,
         workers=workers,
         cache=cache,
         progress=progress,
@@ -53,6 +61,7 @@ def monte_carlo_grid(
     samples: int = 100_000,
     seed: int = 12345,
     workers: int = 1,
+    shard_size: int | None = None,
     cache: ResultCache | None = None,
     progress: ProgressFn | None = None,
 ) -> list[Any]:
@@ -62,13 +71,15 @@ def monte_carlo_grid(
     ``SeedSequence``-derived stream, so the result list is identical for any
     worker count and bit-identical to the serial
     :meth:`~repro.circuit.montecarlo.MonteCarloEngine.sweep_variation` /
-    ``sweep_temperature`` paths.
+    ``sweep_temperature`` paths.  ``shard_size`` splits each point's sample
+    range across the same pool (and cache) without changing a single bit.
     """
     points = grid(variation_percent=variation_percents, temperature_c=temperatures_c)
     return run_sweep(
         lambda point: MonteCarloPointJob(samples=samples, seed=seed, **point),
         points,
         workers=workers,
+        shard_size=shard_size,
         cache=cache,
         progress=progress,
     )

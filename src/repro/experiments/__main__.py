@@ -6,19 +6,27 @@ Usage::
     python -m repro.experiments table2 fig7      # run a subset
     python -m repro.experiments --full fig5      # paper-scale sample counts
     python -m repro.experiments --jobs 4         # fan out across 4 processes
+    python -m repro.experiments --jobs 4 --shard-size 5000 --full table11
+                                                 # split work *inside* each point
     python -m repro.experiments --json table2    # machine-readable output
     python -m repro.experiments --no-cache       # always recompute
+    python -m repro.experiments --cache-max-mb 256   # LRU-trim cache after the run
+    python -m repro.experiments cache-prune --max-mb 64  # trim without running
     python -m repro.experiments --list           # list experiment identifiers
 
 Execution goes through :mod:`repro.engine`: experiments run serially or on a
-process pool (``--jobs``), and results are served from a content-addressed
+process pool (``--jobs``), ``--shard-size`` additionally splits the
+shardable experiments (Table 11, Figures 5/6, aging) into sample/pair ranges
+scheduled on the same pool, and results are served from a content-addressed
 on-disk cache (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
 ``./.repro-cache``) keyed by experiment config plus a fingerprint of the
 package sources -- editing any source file invalidates stale entries.
+Sharded runs cache every shard individually, so re-running with more samples
+only computes the new tail shards.
 
 Tables render as plain text on stdout; with ``--json`` stdout is a single
-JSON document (identical for any ``--jobs`` value) and all progress/cache
-reporting stays on stderr.
+JSON document (identical for any ``--jobs``/``--shard-size`` value) and all
+progress/cache reporting stays on stderr.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from repro.engine import (
     JobOutcome,
     ResultCache,
     default_cache_dir,
-    run_jobs,
+    run_sharded,
 )
 from repro.experiments.registry import EXPERIMENTS
 
@@ -69,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of worker processes (default: 1, serial)",
     )
     parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split shardable experiments into shards of N units (Monte Carlo "
+        "samples / Jaccard pairs) scheduled across --jobs workers; results "
+        "are bit-identical for any value",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -78,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="recompute every experiment, bypassing the result cache",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="after the run, evict least-recently-used cache entries until "
+        "the store fits this budget",
     )
     parser.add_argument(
         "--json",
@@ -92,9 +117,54 @@ def _progress(done: int, total: int, outcome: JobOutcome) -> None:
     print(f"[{done}/{total}] {outcome.describe()}", file=sys.stderr)
 
 
+def _cache_prune_main(argv: list[str]) -> int:
+    """``cache-prune`` subcommand: LRU-trim the store without running jobs."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cache-prune",
+        description="Evict least-recently-used result-cache entries until the "
+        "store fits the given size budget.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=0.0,
+        metavar="MB",
+        help="target store size in megabytes (default: 0, evict everything)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_mb < 0:
+        parser.error("--max-mb must be non-negative")
+    try:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    except OSError as error:
+        print(f"unusable cache directory: {error}", file=sys.stderr)
+        return 2
+    removed, freed = cache.prune(int(args.max_mb * 1_000_000))
+    print(
+        f"cache-prune: removed {removed} entrie(s), freed {freed / 1e6:.2f} MB, "
+        f"{len(cache)} entrie(s) ({cache.size_bytes() / 1e6:.2f} MB) remain"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["cache-prune"]:
+        return _cache_prune_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.shard_size is not None and args.shard_size <= 0:
+        print("--shard-size must be positive", file=sys.stderr)
+        return 2
+    if args.cache_max_mb is not None and args.cache_max_mb < 0:
+        print("--cache-max-mb must be non-negative", file=sys.stderr)
+        return 2
 
     if args.list_experiments:
         for experiment_id in EXPERIMENTS:
@@ -118,7 +188,13 @@ def main(argv: list[str] | None = None) -> int:
 
     jobs = [ExperimentJob(experiment_id, quick=not args.full) for experiment_id in selected]
     try:
-        outcomes = run_jobs(jobs, workers=args.jobs, cache=cache, progress=_progress)
+        outcomes = run_sharded(
+            jobs,
+            shard_size=args.shard_size,
+            workers=args.jobs,
+            cache=cache,
+            progress=_progress,
+        )
     except EngineError as error:
         print(error.render(), file=sys.stderr)
         return 1
@@ -136,6 +212,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if cache is not None:
         print(f"cache: {cache.stats.summary()}", file=sys.stderr)
+    if args.cache_max_mb is not None:
+        # The store is trimmed even under --no-cache: that flag only bypasses
+        # lookups for this run, while the size budget is about the directory.
+        try:
+            store = cache or ResultCache(args.cache_dir or default_cache_dir())
+        except OSError as error:
+            print(f"unusable cache directory: {error}", file=sys.stderr)
+            return 2
+        removed, freed = store.prune(int(args.cache_max_mb * 1_000_000))
+        print(
+            f"cache: pruned {removed} entrie(s) ({freed / 1e6:.2f} MB) to fit "
+            f"{args.cache_max_mb:g} MB",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -1,9 +1,17 @@
 """Cold-boot experiments: Figure 7, the Section 6.2 energy comparison,
-Table 6 and the Table 11 Monte Carlo study."""
+Table 6 and the Table 11 Monte Carlo study.
+
+Table 11 is structured as *unit jobs plus assembly*: one
+:class:`~repro.engine.jobs.MonteCarloPointJob` per sweep point, which the
+engine can shard further into sample ranges -- the serial driver runs the
+same jobs inline, so sharded execution is bit-identical.
+"""
 
 from __future__ import annotations
 
-from repro.circuit.montecarlo import MonteCarloEngine
+from typing import Any, Sequence
+
+from repro.circuit.process_variation import NOMINAL_TEMPERATURE_C
 from repro.coldboot.ciphers import table6_comparison
 from repro.coldboot.evaluation import (
     ENERGY_COMPARISON_CAPACITY,
@@ -92,19 +100,47 @@ def run_table6(quick: bool = True) -> ExperimentResult:
     return result
 
 
-def run_table11(quick: bool = True) -> ExperimentResult:
-    """Table 11: CODIC-sigsa bit-flip rates vs. process variation and temperature."""
-    samples = 20_000 if quick else 100_000
-    engine = MonteCarloEngine(samples=samples)
+#: Table 11 sweep axes: process-variation levels at nominal temperature, and
+#: temperatures at a fixed 4 % variation level.
+TABLE11_VARIATION_PERCENTS: tuple[float, ...] = (2.0, 3.0, 4.0, 5.0)
+TABLE11_TEMPERATURES_C: tuple[float, ...] = (30.0, 60.0, 70.0, 85.0)
+TABLE11_TEMPERATURE_VARIATION = 4.0
+
+
+def table11_samples(quick: bool) -> int:
+    """Monte Carlo samples per Table 11 point (the paper uses 100,000)."""
+    return 20_000 if quick else 100_000
+
+
+def table11_unit_jobs(quick: bool) -> list[Any]:
+    """One Monte Carlo point job per Table 11 sweep point, in table order."""
+    from repro.engine.jobs import MonteCarloPointJob
+
+    samples = table11_samples(quick)
+    jobs = [
+        MonteCarloPointJob(percent, NOMINAL_TEMPERATURE_C, samples=samples)
+        for percent in TABLE11_VARIATION_PERCENTS
+    ]
+    jobs.extend(
+        MonteCarloPointJob(TABLE11_TEMPERATURE_VARIATION, temperature, samples=samples)
+        for temperature in TABLE11_TEMPERATURES_C
+    )
+    return jobs
+
+
+def assemble_table11(quick: bool, values: Sequence[Any]) -> ExperimentResult:
+    """Build the Table 11 table from point results, in sweep order."""
     result = ExperimentResult(
         experiment_id="table11",
         title="CODIC-sigsa bit flips vs. process variation and temperature",
         headers=["Sweep", "Point", "Bit flips (%)"],
     )
-    for point in engine.sweep_variation([2.0, 3.0, 4.0, 5.0]):
+    variation_points = values[: len(TABLE11_VARIATION_PERCENTS)]
+    temperature_points = values[len(TABLE11_VARIATION_PERCENTS) :]
+    for point in variation_points:
         result.add_row("process variation", f"{point.variation_percent:.0f}%",
                        round(point.flip_percent, 3))
-    for point in engine.sweep_temperature([30.0, 60.0, 70.0, 85.0], variation_percent=4.0):
+    for point in temperature_points:
         result.add_row("temperature (4% PV)", f"{point.temperature_c:.0f}C",
                        round(point.flip_percent, 3))
     result.add_note(
@@ -112,3 +148,8 @@ def run_table11(quick: bool = True) -> ExperimentResult:
         "30-85 C at 4 % PV"
     )
     return result
+
+
+def run_table11(quick: bool = True) -> ExperimentResult:
+    """Table 11: CODIC-sigsa bit-flip rates vs. process variation and temperature."""
+    return assemble_table11(quick, [job.run() for job in table11_unit_jobs(quick)])

@@ -1,11 +1,23 @@
-"""PUF experiments: Figures 5 and 6, Table 4, Table 10 and the aging study."""
+"""PUF experiments: Figures 5 and 6, Table 4, Table 10 and the aging study.
+
+The pair-based experiments (fig5/fig6/aging) are structured as *unit jobs
+plus assembly*: ``*_unit_jobs`` builds one
+:class:`~repro.engine.jobs.PUFPairsJob` per table cell and ``assemble_*``
+turns their values into the :class:`ExperimentResult` table.  The serial
+drivers simply run the unit jobs inline, so
+``repro.engine.sharding.run_sharded`` can split the same pair batches across
+a process pool and reproduce the serial tables bit-for-bit.
+"""
 
 from __future__ import annotations
+
+from typing import Any, Sequence
 
 from repro.dram.population import paper_population
 from repro.experiments.base import ExperimentResult
 from repro.puf.codic_puf import CODICSigPUF
-from repro.puf.evaluation import FIGURE6_TEMPERATURE_DELTAS, PUFEvaluator
+from repro.puf.evaluation import FIGURE6_TEMPERATURE_DELTAS
+from repro.puf.jaccard import JaccardDistribution
 from repro.puf.latency_puf import DRAMLatencyPUF
 from repro.puf.prelat_puf import PreLatPUF
 from repro.puf.timing import PUFTimingModel
@@ -19,16 +31,42 @@ PUF_FACTORIES = {
     "CODIC-sig PUF": lambda module: CODICSigPUF(module),
 }
 
+#: Voltage classes of Figure 5, as (job voltage key, table label).
+FIG5_VOLTAGE_CLASSES = (("ddr3", "DDR3 (1.50V)"), ("ddr3l", "DDR3L (1.35V)"))
+
 
 def _population(quick: bool):
     population = paper_population()
     return population
 
 
-def run_fig5(quick: bool = True) -> ExperimentResult:
-    """Figure 5: Intra-/Inter-Jaccard distributions per PUF and voltage class."""
-    population = _population(quick)
-    pairs = 120 if quick else 2000
+# ----------------------------------------------------------------------
+# Figure 5: PUF quality
+# ----------------------------------------------------------------------
+def fig5_pairs(quick: bool) -> int:
+    """Jaccard pairs per Figure 5 cell (the paper uses 10,000)."""
+    return 120 if quick else 2000
+
+
+def fig5_unit_jobs(quick: bool) -> list[Any]:
+    """One quality pair batch per (PUF, voltage class) cell, in table order."""
+    from repro.engine.jobs import PUFPairsJob
+
+    return [
+        PUFPairsJob(
+            puf=puf_name,
+            mode="quality",
+            pairs=fig5_pairs(quick),
+            seed=17,
+            voltage=voltage,
+        )
+        for puf_name in PUF_FACTORIES
+        for voltage, _ in FIG5_VOLTAGE_CLASSES
+    ]
+
+
+def assemble_fig5(quick: bool, values: Sequence[Any]) -> ExperimentResult:
+    """Build the Figure 5 table from unit-job values (pair index lists)."""
     result = ExperimentResult(
         experiment_id="fig5",
         title="Intra/Inter Jaccard indices of the three DRAM PUFs",
@@ -41,19 +79,18 @@ def run_fig5(quick: bool = True) -> ExperimentResult:
             "Inter-Jaccard (std)",
         ],
     )
-    for puf_name, factory in PUF_FACTORIES.items():
-        for ddr3l, label in ((False, "DDR3 (1.50V)"), (True, "DDR3L (1.35V)")):
-            modules = population.modules_by_voltage(ddr3l)
-            evaluator = PUFEvaluator(modules, factory, pairs=pairs, seed=17)
-            quality = evaluator.quality(puf_name=puf_name)
-            result.add_row(
-                puf_name,
-                label,
-                round(quality.intra.mean, 3),
-                round(quality.intra.std, 3),
-                round(quality.inter.mean, 3),
-                round(quality.inter.std, 3),
-            )
+    labels = dict(FIG5_VOLTAGE_CLASSES)
+    for job, value in zip(fig5_unit_jobs(quick), values):
+        intra = JaccardDistribution.from_values(value["intra"])
+        inter = JaccardDistribution.from_values(value["inter"])
+        result.add_row(
+            job.puf,
+            labels[job.voltage],
+            round(intra.mean, 3),
+            round(intra.std, 3),
+            round(inter.mean, 3),
+            round(inter.std, 3),
+        )
     result.add_note(
         "paper: CODIC-sig has Intra ~1 and Inter ~0; the Latency PUF has "
         "dispersed Intra and tight Inter; PreLatPUF has tight Intra but "
@@ -62,21 +99,51 @@ def run_fig5(quick: bool = True) -> ExperimentResult:
     return result
 
 
-def run_fig6(quick: bool = True) -> ExperimentResult:
-    """Figure 6: Intra-Jaccard versus temperature delta."""
-    population = _population(quick)
-    pairs = 60 if quick else 1000
+def run_fig5(quick: bool = True) -> ExperimentResult:
+    """Figure 5: Intra-/Inter-Jaccard distributions per PUF and voltage class."""
+    return assemble_fig5(quick, [job.run() for job in fig5_unit_jobs(quick)])
+
+
+# ----------------------------------------------------------------------
+# Figure 6: temperature study
+# ----------------------------------------------------------------------
+def fig6_pairs(quick: bool) -> int:
+    """Jaccard pairs per Figure 6 point."""
+    return 60 if quick else 1000
+
+
+def fig6_unit_jobs(quick: bool) -> list[Any]:
+    """One temperature pair batch per (PUF, delta) point, in table order."""
+    from repro.engine.jobs import PUFPairsJob
+
+    return [
+        PUFPairsJob(
+            puf=puf_name,
+            mode="temperature",
+            pairs=fig6_pairs(quick),
+            seed=23,
+            temperature_delta_c=delta,
+        )
+        for puf_name in PUF_FACTORIES
+        for delta in FIGURE6_TEMPERATURE_DELTAS
+    ]
+
+
+def assemble_fig6(quick: bool, values: Sequence[Any]) -> ExperimentResult:
+    """Build the Figure 6 table from unit-job values."""
     result = ExperimentResult(
         experiment_id="fig6",
         title="Intra-Jaccard indices vs. temperature delta from 30C",
         headers=["PUF"] + [f"dT={delta:.0f}C" for delta in FIGURE6_TEMPERATURE_DELTAS],
     )
-    for puf_name, factory in PUF_FACTORIES.items():
-        evaluator = PUFEvaluator(population.modules, factory, pairs=pairs, seed=23)
-        points = evaluator.temperature_sweep()
-        result.add_row(
-            puf_name, *[round(point.intra.mean, 3) for point in points]
-        )
+    deltas = len(FIGURE6_TEMPERATURE_DELTAS)
+    for index, puf_name in enumerate(PUF_FACTORIES):
+        row_values = values[index * deltas : (index + 1) * deltas]
+        means = [
+            round(JaccardDistribution.from_values(value["intra"]).mean, 3)
+            for value in row_values
+        ]
+        result.add_row(puf_name, *means)
     result.add_note(
         "paper: CODIC-sig and PreLatPUF stay close to 1 across the full 55C "
         "delta; the DRAM Latency PUF degrades substantially"
@@ -84,19 +151,41 @@ def run_fig6(quick: bool = True) -> ExperimentResult:
     return result
 
 
-def run_aging(quick: bool = True) -> ExperimentResult:
-    """Section 6.1.1 aging study: Intra-Jaccard before vs. after accelerated aging."""
-    population = _population(quick)
-    pairs = 60 if quick else 500
+def run_fig6(quick: bool = True) -> ExperimentResult:
+    """Figure 6: Intra-Jaccard versus temperature delta."""
+    return assemble_fig6(quick, [job.run() for job in fig6_unit_jobs(quick)])
+
+
+# ----------------------------------------------------------------------
+# Aging study
+# ----------------------------------------------------------------------
+def aging_study_pairs(quick: bool) -> int:
+    """Jaccard pairs of the accelerated-aging study."""
+    return 60 if quick else 500
+
+
+def aging_unit_jobs(quick: bool) -> list[Any]:
+    """The single CODIC-sig aging pair batch."""
+    from repro.engine.jobs import PUFPairsJob
+
+    return [
+        PUFPairsJob(
+            puf="CODIC-sig PUF",
+            mode="aging",
+            pairs=aging_study_pairs(quick),
+            seed=29,
+        )
+    ]
+
+
+def assemble_aging(quick: bool, values: Sequence[Any]) -> ExperimentResult:
+    """Build the aging table from the unit-job value."""
+    distribution = JaccardDistribution.from_values(values[0]["intra"])
     result = ExperimentResult(
         experiment_id="aging",
         title="CODIC-sig PUF robustness to accelerated aging",
         headers=["PUF", "Intra-Jaccard mean (after aging)", "Fraction == 1.0"],
     )
-    evaluator = PUFEvaluator(
-        population.modules, PUF_FACTORIES["CODIC-sig PUF"], pairs=pairs, seed=29
-    )
-    distribution = evaluator.aging_study()
     result.add_row(
         "CODIC-sig PUF",
         round(distribution.mean, 3),
@@ -104,6 +193,11 @@ def run_aging(quick: bool = True) -> ExperimentResult:
     )
     result.add_note("paper: most Intra-Jaccard indices remain 1 after aging")
     return result
+
+
+def run_aging(quick: bool = True) -> ExperimentResult:
+    """Section 6.1.1 aging study: Intra-Jaccard before vs. after accelerated aging."""
+    return assemble_aging(quick, [job.run() for job in aging_unit_jobs(quick)])
 
 
 def run_table4(quick: bool = True) -> ExperimentResult:

@@ -51,22 +51,27 @@ def run_all(
     quick: bool = True,
     *,
     jobs: int = 1,
+    shard_size: int | None = None,
     cache: "ResultCache | None" = None,
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment and return results keyed by id.
 
     Execution is routed through :mod:`repro.engine`: ``jobs > 1`` fans the
-    drivers out across worker processes, and passing a
+    drivers out across worker processes, ``shard_size`` additionally splits
+    the shardable experiments (Table 11, Figures 5/6, aging) into sample/pair
+    ranges scheduled on the same pool, and passing a
     :class:`~repro.engine.cache.ResultCache` serves repeat invocations from
-    disk.  Result ordering matches the registry regardless of worker count.
+    disk.  Result ordering and values match the registry regardless of worker
+    count or shard size.
     """
     # Imported lazily: the engine's job classes resolve this registry at call
     # time, so a module-level import here would be circular.
-    from repro.engine.executor import run_jobs
     from repro.engine.jobs import ExperimentJob
+    from repro.engine.sharding import run_sharded
 
-    outcomes = run_jobs(
+    outcomes = run_sharded(
         [ExperimentJob(experiment_id, quick=quick) for experiment_id in EXPERIMENTS],
+        shard_size=shard_size,
         workers=jobs,
         cache=cache,
     )

@@ -9,6 +9,15 @@ The harness reproduces the paper's methodology:
 * repeat across temperatures (30 C + deltas of 15/25/55 C) for the
   temperature study of Figure 6, and across accelerated-aging steps for the
   aging study.
+
+Evaluation is *shardable*: every pair is computed by a pure kernel
+(:func:`quality_pair`, :func:`temperature_pair`, :func:`aging_pair`) on an
+independent RNG stream derived from the pair's index through a
+:class:`~repro.utils.rng.StreamTree`, so pair order is never load-bearing.
+Any contiguous range of pairs can be evaluated in isolation via the
+``*_shard`` methods and merged back with
+:meth:`~repro.puf.jaccard.JaccardDistribution.merge` -- bit-identical to a
+serial evaluation of the full range, for any partition and worker count.
 """
 
 from __future__ import annotations
@@ -21,10 +30,13 @@ import numpy as np
 from repro.dram.module import DRAMModule
 from repro.puf.base import Challenge, DRAMPUF
 from repro.puf.jaccard import JaccardDistribution
-from repro.utils.rng import make_rng
+from repro.utils.rng import StreamTree
 
 #: Temperatures evaluated in Figure 6 (deltas from the 30 C baseline).
 FIGURE6_TEMPERATURE_DELTAS: tuple[float, ...] = (0.0, 15.0, 25.0, 55.0)
+
+#: Factory building a PUF instance for one module (e.g. ``CODICSigPUF``).
+PUFFactory = Callable[[DRAMModule], DRAMPUF]
 
 
 @dataclass
@@ -65,58 +77,179 @@ class TemperaturePoint:
     intra: JaccardDistribution
 
 
+# ----------------------------------------------------------------------
+# Pure per-pair kernels
+# ----------------------------------------------------------------------
+def _pick_module(modules: Sequence[DRAMModule], rng: np.random.Generator) -> DRAMModule:
+    index = int(rng.integers(0, len(modules)))
+    return modules[index]
+
+
+def quality_pair(
+    modules: Sequence[DRAMModule],
+    puf_factory: PUFFactory,
+    rng: np.random.Generator,
+    *,
+    segment_bytes: int = 8192,
+    temperature_c: float = 30.0,
+) -> tuple[float, float]:
+    """One Figure 5 pair: ``(intra_jaccard, inter_jaccard)``.
+
+    Intra compares two responses to the same random challenge; Inter compares
+    the first response with a response to a different random challenge.  The
+    kernel consumes only ``rng``, so a pair's result depends exclusively on
+    the stream it is handed.
+    """
+    module = _pick_module(modules, rng)
+    puf = puf_factory(module)
+    challenge = Challenge.random(module, rng, segment_bytes)
+    first = puf.evaluate(challenge, temperature_c, rng=rng)
+    second = puf.evaluate(challenge, temperature_c, rng=rng)
+    intra = first.jaccard_with(second)
+
+    other_module = _pick_module(modules, rng)
+    other_puf = puf_factory(other_module)
+    other_challenge = Challenge.random(other_module, rng, segment_bytes)
+    while other_module is module and other_challenge.segment == challenge.segment:
+        other_challenge = Challenge.random(other_module, rng, segment_bytes)
+    other = other_puf.evaluate(other_challenge, temperature_c, rng=rng)
+    return intra, first.jaccard_with(other)
+
+
+def temperature_pair(
+    modules: Sequence[DRAMModule],
+    puf_factory: PUFFactory,
+    rng: np.random.Generator,
+    *,
+    delta_c: float,
+    segment_bytes: int = 8192,
+    base_temperature_c: float = 30.0,
+) -> float:
+    """One Figure 6 pair: Intra-Jaccard between a ``base_temperature_c``
+    reference response and a response taken ``delta_c`` degrees hotter."""
+    module = _pick_module(modules, rng)
+    puf = puf_factory(module)
+    challenge = Challenge.random(module, rng, segment_bytes)
+    reference = puf.evaluate(challenge, base_temperature_c, rng=rng)
+    heated = puf.evaluate(challenge, base_temperature_c + delta_c, rng=rng)
+    return reference.jaccard_with(heated)
+
+
+def aging_pair(
+    modules: Sequence[DRAMModule],
+    puf_factory: PUFFactory,
+    rng: np.random.Generator,
+    *,
+    aging_hours: float = 8.0,
+    segment_bytes: int = 8192,
+) -> float:
+    """One aging-study pair: Intra-Jaccard before vs. after accelerated aging.
+
+    Aging stress slightly perturbs the device's variation profile; the chip
+    model represents the post-aging readback as an evaluation with a residual
+    temperature shift proportional to the stress received.
+    """
+    module = _pick_module(modules, rng)
+    puf = puf_factory(module)
+    challenge = Challenge.random(module, rng, segment_bytes)
+    before = puf.evaluate(challenge, 30.0, rng=rng)
+    residual_delta = min(10.0, aging_hours * 0.25)
+    after = puf.evaluate(challenge, 30.0 + residual_delta, rng=rng)
+    return before.jaccard_with(after)
+
+
 @dataclass
 class PUFEvaluator:
-    """Evaluates PUF quality over a set of modules."""
+    """Evaluates PUF quality over a set of modules.
+
+    Every pair index owns an independent stream under the evaluator's
+    :class:`~repro.utils.rng.StreamTree`, so the ``*_shard`` methods evaluate
+    any ``[start, stop)`` sub-range in isolation and
+    :meth:`JaccardDistribution.merge` of the shards (in index order)
+    reproduces the full-range result bit-for-bit.
+    """
 
     modules: Sequence[DRAMModule]
-    #: Factory building a PUF instance for one module (e.g. ``CODICSigPUF``).
-    puf_factory: Callable[[DRAMModule], DRAMPUF]
+    puf_factory: PUFFactory
     pairs: int = 1000
     segment_bytes: int = 8192
     seed: int = 7
-    _rng: np.random.Generator = field(init=False)
+    _streams: StreamTree = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.modules:
             raise ValueError("at least one module is required")
         if self.pairs <= 0:
-            raise ValueError("pairs must be positive")
-        self._rng = make_rng(self.seed, "puf-evaluator")
+            raise ValueError(f"pairs must be positive, got {self.pairs}")
+        if self.segment_bytes <= 0:
+            raise ValueError(
+                f"segment_bytes must be positive, got {self.segment_bytes}"
+            )
+        smallest = min(self.modules, key=lambda module: module.capacity_bytes)
+        if self.segment_bytes > smallest.capacity_bytes:
+            raise ValueError(
+                f"segment_bytes={self.segment_bytes} exceeds the smallest "
+                f"module {smallest.module_id!r} "
+                f"({smallest.capacity_bytes} bytes)"
+            )
+        self._streams = StreamTree(self.seed).child("puf-evaluator")
 
     # ------------------------------------------------------------------
     # Quality (Figure 5)
     # ------------------------------------------------------------------
-    def quality(self, temperature_c: float = 30.0, puf_name: str | None = None) -> PUFQualityResult:
-        """Intra/Inter Jaccard distributions at one temperature."""
+    def quality_shard(
+        self, start: int, stop: int, temperature_c: float = 30.0
+    ) -> tuple[JaccardDistribution, JaccardDistribution]:
+        """``(intra, inter)`` distributions of pairs ``[start, stop)``."""
+        self._check_range(start, stop)
         intra = JaccardDistribution()
         inter = JaccardDistribution()
-        for _ in range(self.pairs):
-            module = self._pick_module()
-            puf = self.puf_factory(module)
-            challenge = Challenge.random(module, self._rng, self.segment_bytes)
-            first = puf.evaluate(challenge, temperature_c, rng=self._rng)
-            second = puf.evaluate(challenge, temperature_c, rng=self._rng)
-            intra.add(first.jaccard_with(second))
+        for index in range(start, stop):
+            intra_value, inter_value = quality_pair(
+                self.modules,
+                self.puf_factory,
+                self._streams.rng("quality", index),
+                segment_bytes=self.segment_bytes,
+                temperature_c=temperature_c,
+            )
+            intra.add(intra_value)
+            inter.add(inter_value)
+        return intra, inter
 
-            other_module = self._pick_module()
-            other_puf = self.puf_factory(other_module)
-            other_challenge = Challenge.random(other_module, self._rng, self.segment_bytes)
-            while (
-                other_module is module
-                and other_challenge.segment == challenge.segment
-            ):
-                other_challenge = Challenge.random(
-                    other_module, self._rng, self.segment_bytes
-                )
-            other = other_puf.evaluate(other_challenge, temperature_c, rng=self._rng)
-            inter.add(first.jaccard_with(other))
+    def quality(
+        self, temperature_c: float = 30.0, puf_name: str | None = None
+    ) -> PUFQualityResult:
+        """Intra/Inter Jaccard distributions at one temperature."""
+        intra, inter = self.quality_shard(0, self.pairs, temperature_c)
         name = puf_name or self.puf_factory(self.modules[0]).name
         return PUFQualityResult(puf_name=name, intra=intra, inter=inter)
 
     # ------------------------------------------------------------------
     # Temperature study (Figure 6)
     # ------------------------------------------------------------------
+    def temperature_shard(
+        self,
+        delta_c: float,
+        start: int,
+        stop: int,
+        base_temperature_c: float = 30.0,
+    ) -> JaccardDistribution:
+        """Intra distribution of pairs ``[start, stop)`` at one delta."""
+        self._check_range(start, stop)
+        distribution = JaccardDistribution()
+        for index in range(start, stop):
+            distribution.add(
+                temperature_pair(
+                    self.modules,
+                    self.puf_factory,
+                    self._streams.rng("temperature", float(delta_c), index),
+                    delta_c=delta_c,
+                    segment_bytes=self.segment_bytes,
+                    base_temperature_c=base_temperature_c,
+                )
+            )
+        return distribution
+
     def temperature_sweep(
         self,
         deltas_c: Sequence[float] = FIGURE6_TEMPERATURE_DELTAS,
@@ -124,56 +257,52 @@ class PUFEvaluator:
     ) -> list[TemperaturePoint]:
         """Intra-Jaccard between a 30 C reference response and responses taken
         at elevated temperatures (the Figure 6 methodology)."""
-        points: list[TemperaturePoint] = []
         name = self.puf_factory(self.modules[0]).name
-        for delta in deltas_c:
-            distribution = JaccardDistribution()
-            for _ in range(self.pairs):
-                module = self._pick_module()
-                puf = self.puf_factory(module)
-                challenge = Challenge.random(module, self._rng, self.segment_bytes)
-                reference = puf.evaluate(challenge, base_temperature_c, rng=self._rng)
-                heated = puf.evaluate(
-                    challenge, base_temperature_c + delta, rng=self._rng
-                )
-                distribution.add(reference.jaccard_with(heated))
-            points.append(
-                TemperaturePoint(
-                    puf_name=name, temperature_delta_c=delta, intra=distribution
-                )
+        return [
+            TemperaturePoint(
+                puf_name=name,
+                temperature_delta_c=delta,
+                intra=self.temperature_shard(delta, 0, self.pairs, base_temperature_c),
             )
-        return points
+            for delta in deltas_c
+        ]
 
     # ------------------------------------------------------------------
     # Aging study (Section 6.1.1, accelerated aging)
     # ------------------------------------------------------------------
-    def aging_study(
-        self, aging_hours: float = 8.0, aging_temperature_c: float = 125.0
+    def aging_shard(
+        self, start: int, stop: int, aging_hours: float = 8.0
     ) -> JaccardDistribution:
+        """Aging distribution of pairs ``[start, stop)``."""
+        self._check_range(start, stop)
+        distribution = JaccardDistribution()
+        for index in range(start, stop):
+            distribution.add(
+                aging_pair(
+                    self.modules,
+                    self.puf_factory,
+                    self._streams.rng("aging", index),
+                    aging_hours=aging_hours,
+                    segment_bytes=self.segment_bytes,
+                )
+            )
+        return distribution
+
+    def aging_study(self, aging_hours: float = 8.0) -> JaccardDistribution:
         """Intra-Jaccard between pre-aging and post-aging responses.
 
-        Accelerated aging slightly perturbs the device's variation profile;
-        the chip model represents this as an elevated-temperature evaluation,
-        so the CODIC-sig responses stay essentially identical (most indices
-        equal to 1), as the paper reports.
+        The model represents the paper's 125 C accelerated-aging stress as a
+        residual temperature shift proportional to ``aging_hours`` (see
+        :func:`aging_pair`); CODIC-sig responses stay essentially identical
+        (most indices equal to 1), as the paper reports.
         """
-        distribution = JaccardDistribution()
-        for _ in range(self.pairs):
-            module = self._pick_module()
-            puf = self.puf_factory(module)
-            challenge = Challenge.random(module, self._rng, self.segment_bytes)
-            before = puf.evaluate(challenge, 30.0, rng=self._rng)
-            # Aging stress at ``aging_temperature_c`` for ``aging_hours``;
-            # responses are read back at nominal temperature afterwards, with
-            # a residual shift proportional to the stress received.
-            residual_delta = min(10.0, aging_hours * 0.25)
-            after = puf.evaluate(challenge, 30.0 + residual_delta, rng=self._rng)
-            distribution.add(before.jaccard_with(after))
-        return distribution
+        return self.aging_shard(0, self.pairs, aging_hours)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _pick_module(self) -> DRAMModule:
-        index = int(self._rng.integers(0, len(self.modules)))
-        return self.modules[index]
+    def _check_range(self, start: int, stop: int) -> None:
+        if not 0 <= start <= stop <= self.pairs:
+            raise ValueError(
+                f"invalid pair range [{start}, {stop}) for {self.pairs} pairs"
+            )

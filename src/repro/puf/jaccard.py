@@ -48,6 +48,27 @@ class JaccardDistribution:
         for value in values:
             self.add(value)
 
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "JaccardDistribution":
+        """Build a validated distribution from an iterable of indices."""
+        distribution = cls()
+        distribution.extend(values)
+        return distribution
+
+    @classmethod
+    def merge(cls, parts: "Iterable[JaccardDistribution]") -> "JaccardDistribution":
+        """Combine partial distributions by concatenation, in the given order.
+
+        Merging is associative, so shard results can be combined pairwise or
+        all at once: merging the shards of a pair range in index order yields
+        exactly the distribution a serial evaluation of the full range
+        produces (each pair owns an index-derived RNG stream).
+        """
+        merged = cls()
+        for part in parts:
+            merged.values.extend(part.values)
+        return merged
+
     def __len__(self) -> int:
         return len(self.values)
 

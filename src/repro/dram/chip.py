@@ -105,6 +105,53 @@ VENDOR_PROFILES: dict[str, VendorProfile] = {
 }
 
 
+class _ProfileMemo:
+    """Byte-bounded memo of deterministic per-row profile arrays.
+
+    Entries are pure functions of (chip seed, address, timing), so a
+    wholesale clear when the byte budget is exceeded never changes any
+    response value -- it only trades recomputation for memory.  The budget
+    is deliberately small: PUF evaluation reuses only the rows of the pair
+    currently being evaluated (a few KB), while a paper-scale Jaccard study
+    touches tens of thousands of distinct rows that would otherwise stay
+    resident forever.
+    """
+
+    __slots__ = ("entries", "nbytes", "limit_bytes")
+
+    #: Default per-memo budget (per chip).  ~128 KB keeps dozens of row
+    #: profiles resident -- far more than one pair needs -- while capping a
+    #: full population at tens of MB total.
+    DEFAULT_LIMIT_BYTES = 128 * 1024
+
+    def __init__(self, limit_bytes: int = DEFAULT_LIMIT_BYTES) -> None:
+        self.entries: dict = {}
+        self.nbytes = 0
+        self.limit_bytes = limit_bytes
+
+    def get(self, key: object):
+        return self.entries.get(key)
+
+    #: Accounted fixed cost per entry (dict slot, key tuple, array objects) so
+    #: that entries with empty payload arrays still consume budget and cannot
+    #: grow the dict unboundedly.
+    ENTRY_OVERHEAD_BYTES = 256
+
+    def put(self, key: object, value, nbytes: int) -> None:
+        nbytes += self.ENTRY_OVERHEAD_BYTES
+        if self.nbytes + nbytes > self.limit_bytes:
+            self.clear()
+        self.entries[key] = value
+        self.nbytes += nbytes
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.nbytes = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class RowState(enum.Enum):
     """Content state of one DRAM row."""
 
@@ -160,6 +207,32 @@ class DRAMChip:
             n_columns, size=max(0, n_fail - n_vendor), replace=False
         )
         self._rp_failing_columns = np.union1d(vendor_columns, chip_columns).astype(np.int64)
+        #: Pre-derived root seed of every per-row stream (saves one SHA-256
+        #: per ``_row_rng`` call on the PUF hot path).
+        self._row_seed = derive_seed(self.seed, "chip", self.chip_id)
+        # Memos of *deterministic* per-row properties (weak cells, reduced
+        # timing failure profiles).  They are pure functions of (chip seed,
+        # address, timing), so caching changes no observable value -- it only
+        # avoids re-deriving the same RNG stream on every filter pass of every
+        # PUF evaluation.  Byte-bounded per chip: PUF evaluation only needs
+        # the *current pair's* rows resident (a few KB), so a small budget
+        # keeps the within-pair reuse while full-scale runs over tens of
+        # thousands of random rows stay at O(budget * chips) memory instead
+        # of O(rows * chips).
+        self._sig_weak_cache = _ProfileMemo()
+        self._rcd_profile_cache = _ProfileMemo()
+        self._rp_profile_cache = _ProfileMemo()
+
+    def reset_profile_memos(self) -> None:
+        """Drop the deterministic per-row memos (weak cells, failure profiles).
+
+        Purely a memory/benchmarking control: the memos cache pure functions
+        of (chip seed, address, timing), so clearing them never changes any
+        response value -- it only restores cold-cache timing behaviour.
+        """
+        self._sig_weak_cache.clear()
+        self._rcd_profile_cache.clear()
+        self._rp_profile_cache.clear()
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -173,7 +246,7 @@ class DRAMChip:
             )
 
     def _row_rng(self, *labels: object) -> np.random.Generator:
-        return make_rng(derive_seed(self.seed, "chip", self.chip_id), *labels)
+        return make_rng(self._row_seed, *labels)
 
     # ------------------------------------------------------------------
     # Data path
@@ -306,16 +379,26 @@ class DRAMChip:
         """Bit positions of this row's CODIC-sig minority ('1') cells.
 
         The set is a stable property of the chip: it is generated
-        deterministically from the chip seed and the row address.
+        deterministically from the chip seed and the row address, and memoized
+        (read-only) so repeated filter passes over the same row do not
+        re-derive the stream.
         """
         self._check_location(bank, row)
+        cached = self._sig_weak_cache.get((bank, row))
+        if cached is not None:
+            return cached
         rng = self._row_rng("sig-weak", bank, row)
         expected = self.sig_weak_fraction * self.geometry.row_bits
         count = int(rng.poisson(expected))
         count = min(max(count, 0), self.geometry.row_bits)
         if count == 0:
-            return np.empty(0, dtype=np.int64)
-        return np.sort(rng.choice(self.geometry.row_bits, size=count, replace=False))
+            cells = np.empty(0, dtype=np.int64)
+        else:
+            cells = np.sort(rng.choice(self.geometry.row_bits, size=count, replace=False))
+            cells = cells.astype(np.int64, copy=False)
+        cells.setflags(write=False)
+        self._sig_weak_cache.put((bank, row), cells, cells.nbytes)
+        return cells
 
     def signature_row_values(
         self,
@@ -355,9 +438,29 @@ class DRAMChip:
         temperature_c: float = 30.0,
         rng: np.random.Generator | None = None,
     ) -> np.ndarray:
-        """One CODIC-sig PUF observation: positions of cells that read '1'."""
-        values = self.signature_row_values(bank, row, temperature_c, rng)
-        return np.flatnonzero(values).astype(np.int64)
+        """One CODIC-sig PUF observation: positions of cells that read '1'.
+
+        Sparse fast path of :meth:`signature_row_values`: the noise stream is
+        consumed in exactly the same order (dropout uniforms, then the
+        spurious-cell Poisson draw, then spurious addresses), so the returned
+        sorted position array is bit-identical to ``flatnonzero`` over the
+        dense row -- without materializing ``row_bits`` values per read.
+        """
+        self._check_location(bank, row)
+        weak = self.sig_weak_cells(bank, row)
+        noise_rng = rng if rng is not None else make_rng(self.seed, "sig-noise-default")
+        instability = self._sig_instability(temperature_c)
+        kept = weak
+        if weak.size and instability > 0.0:
+            drop = noise_rng.random(weak.size) < instability
+            if drop.any():
+                kept = weak[~drop]
+        spurious_rate = instability * self.sig_weak_fraction
+        n_spurious = noise_rng.poisson(spurious_rate * self.geometry.row_bits)
+        if n_spurious > 0:
+            extra = noise_rng.integers(0, self.geometry.row_bits, size=int(n_spurious))
+            return np.union1d(kept, extra).astype(np.int64, copy=False)
+        return kept.astype(np.int64, copy=False)
 
     def _sig_instability(self, temperature_c: float) -> float:
         base = 1.0 - self.sig_stability
@@ -385,24 +488,38 @@ class DRAMChip:
 
         Failures only appear for aggressively reduced timings (the DRAM
         Latency PUF uses tRCD = 2.5 ns); at nominal timing the set is empty.
+        The profile is deterministic per (address, timing) and memoized.
         """
         self._check_location(bank, row)
         if trcd_ns >= 10.0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        key = (bank, row, float(trcd_ns))
+        cached = self._rcd_profile_cache.get(key)
+        if cached is not None:
+            return cached
         severity = min(1.0, (10.0 - trcd_ns) / 7.5)
         rng = self._row_rng("rcd-fail", bank, row)
         fraction = self.vendor.rcd_failure_fraction * severity
         count = int(rng.poisson(fraction * self.geometry.row_bits))
         count = min(count, self.geometry.row_bits)
         if count == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-        cells = np.sort(rng.choice(self.geometry.row_bits, size=count, replace=False))
-        # Per-cell failure probabilities follow a U-shaped (bathtub)
-        # distribution: most failure-prone cells fail either rarely or almost
-        # always, with a long tail of borderline cells.  The borderline cells
-        # are what makes raw responses noisy and forces the DRAM Latency PUF
-        # to use a heavy (100-read) filtering mechanism.
-        probabilities = np.clip(rng.beta(0.5, 0.5, size=count), 0.02, 0.98)
+            cells = np.empty(0, dtype=np.int64)
+            probabilities = np.empty(0, dtype=np.float64)
+        else:
+            cells = np.sort(rng.choice(self.geometry.row_bits, size=count, replace=False))
+            cells = cells.astype(np.int64, copy=False)
+            # Per-cell failure probabilities follow a U-shaped (bathtub)
+            # distribution: most failure-prone cells fail either rarely or
+            # almost always, with a long tail of borderline cells.  The
+            # borderline cells are what makes raw responses noisy and forces
+            # the DRAM Latency PUF to use a heavy (100-read) filtering
+            # mechanism.
+            probabilities = np.clip(rng.beta(0.5, 0.5, size=count), 0.02, 0.98)
+        cells.setflags(write=False)
+        probabilities.setflags(write=False)
+        self._rcd_profile_cache.put(
+            key, (cells, probabilities), cells.nbytes + probabilities.nbytes
+        )
         return cells, probabilities
 
     def rcd_response(
@@ -463,6 +580,10 @@ class DRAMChip:
         self._check_location(bank, row)
         if trp_ns >= 10.0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        key = (bank, row, float(trp_ns))
+        cached = self._rp_profile_cache.get(key)
+        if cached is not None:
+            return cached
         rng = self._row_rng("rp-fail", bank, row)
         row_specific_target = self._rp_failing_columns.size * (
             self.vendor.rp_row_specific_fraction
@@ -476,7 +597,13 @@ class DRAMChip:
         else:
             cells = self._rp_failing_columns.copy()
         probabilities = np.full(cells.size, self.vendor.rp_stability, dtype=np.float64)
-        return cells.astype(np.int64), probabilities
+        cells = cells.astype(np.int64)
+        cells.setflags(write=False)
+        probabilities.setflags(write=False)
+        self._rp_profile_cache.put(
+            key, (cells, probabilities), cells.nbytes + probabilities.nbytes
+        )
+        return cells, probabilities
 
     def rp_response(
         self,

@@ -145,13 +145,25 @@ class DRAMModule:
     # ------------------------------------------------------------------
     # Aggregated PUF primitives
     # ------------------------------------------------------------------
-    def _aggregate(self, per_chip_positions: list[np.ndarray]) -> frozenset[int]:
+    def _aggregate(self, per_chip_positions: list[np.ndarray]) -> np.ndarray:
+        """Concatenate per-chip position arrays with per-chip bit offsets.
+
+        Each chip contributes a sorted unique array and the offsets grow with
+        the chip index, so the concatenation is itself sorted and unique --
+        the canonical array-native response representation
+        (:mod:`repro.puf.positions`).
+        """
         per_chip_bits = self.chip_geometry.row_bits
-        positions: list[int] = []
-        for index, chip_positions in enumerate(per_chip_positions):
-            offset = index * per_chip_bits
-            positions.extend(int(p) + offset for p in chip_positions)
-        return frozenset(positions)
+        parts = [
+            chip_positions.astype(np.int64, copy=False) + (index * per_chip_bits)
+            for index, chip_positions in enumerate(per_chip_positions)
+            if chip_positions.size
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
 
     def sig_response(
         self,
@@ -159,8 +171,8 @@ class DRAMModule:
         temperature_c: float = 30.0,
         rng: np.random.Generator | None = None,
         rank: int = 0,
-    ) -> frozenset[int]:
-        """CODIC-sig PUF response of one segment: set of '1' bit positions."""
+    ) -> np.ndarray:
+        """CODIC-sig PUF response of one segment: sorted '1' bit positions."""
         return self._aggregate(
             [
                 chip.sig_response(segment.bank, segment.row, temperature_c, rng)
@@ -175,7 +187,7 @@ class DRAMModule:
         temperature_c: float = 30.0,
         rng: np.random.Generator | None = None,
         rank: int = 0,
-    ) -> frozenset[int]:
+    ) -> np.ndarray:
         """DRAM Latency PUF raw response (one reduced-tRCD read)."""
         return self._aggregate(
             [
@@ -193,7 +205,7 @@ class DRAMModule:
         temperature_c: float = 30.0,
         rng: np.random.Generator | None = None,
         rank: int = 0,
-    ) -> frozenset[int]:
+    ) -> np.ndarray:
         """DRAM Latency PUF filtered response (``reads`` reads, keep > threshold)."""
         return self._aggregate(
             [
@@ -212,7 +224,7 @@ class DRAMModule:
         temperature_c: float = 30.0,
         rng: np.random.Generator | None = None,
         rank: int = 0,
-    ) -> frozenset[int]:
+    ) -> np.ndarray:
         """PreLatPUF raw response (one reduced-tRP access)."""
         return self._aggregate(
             [

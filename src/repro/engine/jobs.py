@@ -326,6 +326,10 @@ def _run_puf_pairs(spec: "PUFPairsJob", start: int, stop: int) -> dict[str, list
         segment_bytes=spec.segment_bytes,
         seed=spec.seed,
     )
+    # The *_shard methods route through the batched pair kernels
+    # (quality_pairs_batch and friends); .values converts the float64 result
+    # arrays to the JSON-safe lists the cache persists, with floats identical
+    # to the scalar kernel loop.
     if spec.mode == "quality":
         intra, inter = evaluator.quality_shard(
             start, stop, temperature_c=spec.base_temperature_c

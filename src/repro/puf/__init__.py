@@ -24,7 +24,21 @@ from repro.puf.latency_puf import DRAMLatencyPUF
 from repro.puf.prelat_puf import PreLatPUF
 from repro.puf.filtering import majority_filter, intersect_filter
 from repro.puf.jaccard import jaccard_index, JaccardDistribution
-from repro.puf.evaluation import PUFEvaluator, PUFQualityResult, TemperaturePoint
+from repro.puf.positions import (
+    as_position_array,
+    intersect_positions,
+    jaccard_index_arrays,
+    positions_equal,
+    union_positions,
+)
+from repro.puf.evaluation import (
+    PUFEvaluator,
+    PUFQualityResult,
+    TemperaturePoint,
+    aging_pairs_batch,
+    quality_pairs_batch,
+    temperature_pairs_batch,
+)
 from repro.puf.timing import PUFTimingModel, ResponseTimeEstimate
 from repro.puf.authentication import AuthenticationProtocol, AuthenticationResult
 
@@ -39,9 +53,17 @@ __all__ = [
     "intersect_filter",
     "jaccard_index",
     "JaccardDistribution",
+    "as_position_array",
+    "intersect_positions",
+    "jaccard_index_arrays",
+    "positions_equal",
+    "union_positions",
     "PUFEvaluator",
     "PUFQualityResult",
     "TemperaturePoint",
+    "quality_pairs_batch",
+    "temperature_pairs_batch",
+    "aging_pairs_batch",
     "PUFTimingModel",
     "ResponseTimeEstimate",
     "AuthenticationProtocol",

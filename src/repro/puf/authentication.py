@@ -7,6 +7,11 @@ the verifier accepts only if the response matches the golden one exactly (or,
 in the threshold variant, if the Jaccard similarity exceeds a threshold).
 With exact matching the paper reports an average false rejection rate of
 0.64 % and a false acceptance rate of 0.00 %.
+
+Golden and candidate responses are array-native
+(:class:`~repro.puf.base.PUFResponse` backed by sorted position arrays), so
+both the exact match and the threshold comparison reduce to sorted-array set
+operations rather than Python set algebra.
 """
 
 from __future__ import annotations

@@ -5,16 +5,27 @@ segment, and the *response* is the set of cell addresses (bit positions
 within the segment) that exhibit the PUF's characteristic behaviour
 (minority amplification value for CODIC-sig, access failures for the
 latency-based PUFs).
+
+Responses are **array-native**: the position set is stored as a sorted
+``np.int64`` array (see :mod:`repro.puf.positions`) so Jaccard comparisons
+and filtering reduce to sorted-array set operations.  A frozenset view is
+kept for callers that still want Python set semantics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Iterable, Protocol
 
 import numpy as np
 
 from repro.dram.module import DRAMModule, SegmentAddress
+from repro.puf.positions import (
+    as_position_array,
+    check_canonical,
+    jaccard_index_arrays,
+    positions_equal,
+)
 
 
 @dataclass(frozen=True)
@@ -36,28 +47,104 @@ class Challenge:
         return cls(segment=module.random_segment(rng), size_bytes=size_bytes)
 
 
-@dataclass(frozen=True)
 class PUFResponse:
-    """A PUF response: the set of characteristic bit positions of a segment."""
+    """A PUF response: the set of characteristic bit positions of a segment.
 
-    positions: frozenset[int]
-    challenge: Challenge
-    temperature_c: float = 30.0
+    The native representation is :attr:`position_array`, a sorted unique
+    ``np.int64`` array; :attr:`positions` materializes a frozenset view on
+    first access for callers that want Python set semantics.  Construct from
+    either form::
+
+        PUFResponse(positions={3, 17}, challenge=challenge)
+        PUFResponse(position_array=sorted_array, challenge=challenge)
+
+    The ``position_array`` keyword is the fast path: the array must already
+    be canonical (sorted, duplicate-free -- validated in O(n)).  The input is
+    copied unless it is a read-only array that *owns its data*; freezing a
+    freshly built array with ``setflags(write=False)`` skips the copy.
+    Passing a frozen array is a buffer-sharing promise: the caller must not
+    re-enable writeability and mutate it afterwards (numpy cannot prevent
+    that), or the stored hashable response is corrupted.
+    """
+
+    __slots__ = ("position_array", "challenge", "temperature_c", "_positions")
+
+    def __init__(
+        self,
+        positions: "frozenset[int] | set[int] | Iterable[int] | None" = None,
+        challenge: Challenge | None = None,
+        temperature_c: float = 30.0,
+        *,
+        position_array: np.ndarray | None = None,
+    ) -> None:
+        if challenge is None:
+            raise TypeError("PUFResponse requires a challenge")
+        if position_array is not None:
+            if positions is not None:
+                raise TypeError("pass either positions or position_array, not both")
+            array = check_canonical(position_array)
+        elif positions is not None:
+            array = as_position_array(positions)
+            if not isinstance(positions, np.ndarray):
+                # Materialized fresh from a set/iterable: freeze in place
+                # instead of paying a second allocation in the copy below.
+                array.setflags(write=False)
+        else:
+            raise TypeError("PUFResponse requires positions or position_array")
+        if array.flags.writeable or not array.flags.owndata:
+            # A read-only *view* is not immutable (its base may be writable),
+            # so only read-only owning arrays are stored without copying.
+            array = array.copy()
+        array.setflags(write=False)
+        self.position_array = array
+        self.challenge = challenge
+        self.temperature_c = temperature_c
+        self._positions: frozenset[int] | None = None
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Immutable after construction (responses are hashable); only the
+        # lazy frozenset cache slot may be written later.
+        if name != "_positions" and hasattr(self, "_positions"):
+            raise AttributeError(f"PUFResponse is immutable; cannot set {name!r}")
+        object.__setattr__(self, name, value)
+
+    @property
+    def positions(self) -> frozenset[int]:
+        """Frozenset view of the position set (materialized lazily)."""
+        if self._positions is None:
+            self._positions = frozenset(self.position_array.tolist())
+        return self._positions
 
     def __len__(self) -> int:
-        return len(self.positions)
+        return int(self.position_array.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PUFResponse):
+            return NotImplemented
+        return (
+            self.challenge == other.challenge
+            and self.temperature_c == other.temperature_c
+            and positions_equal(self.position_array, other.position_array)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.challenge, self.temperature_c, self.position_array.tobytes())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PUFResponse(len={len(self)}, challenge={self.challenge!r}, "
+            f"temperature_c={self.temperature_c!r})"
+        )
 
     def jaccard_with(self, other: "PUFResponse") -> float:
         """Jaccard similarity with another response."""
-        union = self.positions | other.positions
-        if not union:
-            # Two empty responses are (vacuously) identical.
-            return 1.0
-        return len(self.positions & other.positions) / len(union)
+        return jaccard_index_arrays(self.position_array, other.position_array)
 
     def matches(self, other: "PUFResponse") -> bool:
         """Exact-match comparison (used by no-filter authentication)."""
-        return self.positions == other.positions
+        return positions_equal(self.position_array, other.position_array)
 
 
 class DRAMPUF(Protocol):

@@ -18,6 +18,14 @@ Any contiguous range of pairs can be evaluated in isolation via the
 ``*_shard`` methods and merged back with
 :meth:`~repro.puf.jaccard.JaccardDistribution.merge` -- bit-identical to a
 serial evaluation of the full range, for any partition and worker count.
+
+On top of the scalar kernels sit the **batched pair kernels**
+(:func:`quality_pairs_batch`, :func:`temperature_pairs_batch`,
+:func:`aging_pairs_batch`): they evaluate a block of pair indices into
+preallocated ``float64`` arrays, reusing one PUF instance per module, while
+drawing from the same per-pair streams in the same order -- so batch results
+are bit-identical to looping the scalar kernel, and the ``*_shard`` methods
+(and therefore the engine's ``PUFPairsShardJob``) route through them.
 """
 
 from __future__ import annotations
@@ -37,6 +45,12 @@ FIGURE6_TEMPERATURE_DELTAS: tuple[float, ...] = (0.0, 15.0, 25.0, 55.0)
 
 #: Factory building a PUF instance for one module (e.g. ``CODICSigPUF``).
 PUFFactory = Callable[[DRAMModule], DRAMPUF]
+
+#: Bound on the inter-pair challenge re-draw loop of :func:`quality_pair`.
+#: On a healthy population a redraw is only needed when the loop happens to
+#: land on the intra challenge again (vanishingly rare); hitting the bound
+#: means the population cannot produce a distinct second challenge at all.
+MAX_INTER_CHALLENGE_REDRAWS = 256
 
 
 @dataclass
@@ -110,7 +124,31 @@ def quality_pair(
     other_module = _pick_module(modules, rng)
     other_puf = puf_factory(other_module)
     other_challenge = Challenge.random(other_module, rng, segment_bytes)
+    redraws = 0
     while other_module is module and other_challenge.segment == challenge.segment:
+        redraws += 1
+        if redraws > MAX_INTER_CHALLENGE_REDRAWS:
+            # With >= 2 addressable segments a redraw collides with
+            # probability <= 1/2, so reaching the bound is a 2^-256 event --
+            # in practice it means the stream is broken, not unlucky.
+            raise ValueError(
+                "cannot draw a distinct inter-pair challenge after "
+                f"{MAX_INTER_CHALLENGE_REDRAWS} attempts on a degenerate "
+                "module population; grow the population or the geometry"
+            )
+        geometry = module.chip_geometry
+        if geometry.banks * geometry.rows_per_bank == 1:
+            # Single-segment module: redrawing the challenge alone can never
+            # produce a distinct segment (the pre-guard code spun forever
+            # here, so resampling draws no compatibility concern).
+            if len(modules) == 1:
+                raise ValueError(
+                    "cannot draw a distinct inter-pair challenge: the module "
+                    "population is degenerate (a single module with a single "
+                    "addressable segment); grow the population or the geometry"
+                )
+            other_module = _pick_module(modules, rng)
+            other_puf = puf_factory(other_module)
         other_challenge = Challenge.random(other_module, rng, segment_bytes)
     other = other_puf.evaluate(other_challenge, temperature_c, rng=rng)
     return intra, first.jaccard_with(other)
@@ -158,6 +196,103 @@ def aging_pair(
     return before.jaccard_with(after)
 
 
+# ----------------------------------------------------------------------
+# Batched pair kernels
+# ----------------------------------------------------------------------
+def _memoized_factory(puf_factory: PUFFactory) -> PUFFactory:
+    """Wrap ``puf_factory`` to build at most one PUF instance per module.
+
+    Safe for batching: when the caller supplies the rng, PUF evaluation
+    reads only seed-derived device state and never mutates the instance, so
+    reusing one instance across a block of pairs is bit-identical to
+    constructing a fresh one per pair.
+    """
+    instances: dict[int, DRAMPUF] = {}
+
+    def factory(module: DRAMModule) -> DRAMPUF:
+        puf = instances.get(id(module))
+        if puf is None:
+            puf = instances[id(module)] = puf_factory(module)
+        return puf
+
+    return factory
+
+
+def quality_pairs_batch(
+    modules: Sequence[DRAMModule],
+    puf_factory: PUFFactory,
+    rngs: Sequence[np.random.Generator],
+    *,
+    segment_bytes: int = 8192,
+    temperature_c: float = 30.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 5 pairs for a block of per-pair streams: ``(intra, inter)``.
+
+    ``rngs[i]`` is consumed exactly as :func:`quality_pair` would consume it,
+    so the returned ``float64`` arrays are bit-identical to evaluating each
+    pair with the scalar kernel -- batching only amortizes PUF construction
+    (one instance per module) and collects results array-natively.
+    """
+    factory = _memoized_factory(puf_factory)
+    intra = np.empty(len(rngs), dtype=np.float64)
+    inter = np.empty(len(rngs), dtype=np.float64)
+    for position, rng in enumerate(rngs):
+        intra[position], inter[position] = quality_pair(
+            modules,
+            factory,
+            rng,
+            segment_bytes=segment_bytes,
+            temperature_c=temperature_c,
+        )
+    return intra, inter
+
+
+def temperature_pairs_batch(
+    modules: Sequence[DRAMModule],
+    puf_factory: PUFFactory,
+    rngs: Sequence[np.random.Generator],
+    *,
+    delta_c: float,
+    segment_bytes: int = 8192,
+    base_temperature_c: float = 30.0,
+) -> np.ndarray:
+    """Figure 6 pairs for a block of per-pair streams (Intra indices)."""
+    factory = _memoized_factory(puf_factory)
+    intra = np.empty(len(rngs), dtype=np.float64)
+    for position, rng in enumerate(rngs):
+        intra[position] = temperature_pair(
+            modules,
+            factory,
+            rng,
+            delta_c=delta_c,
+            segment_bytes=segment_bytes,
+            base_temperature_c=base_temperature_c,
+        )
+    return intra
+
+
+def aging_pairs_batch(
+    modules: Sequence[DRAMModule],
+    puf_factory: PUFFactory,
+    rngs: Sequence[np.random.Generator],
+    *,
+    aging_hours: float = 8.0,
+    segment_bytes: int = 8192,
+) -> np.ndarray:
+    """Aging-study pairs for a block of per-pair streams (Intra indices)."""
+    factory = _memoized_factory(puf_factory)
+    intra = np.empty(len(rngs), dtype=np.float64)
+    for position, rng in enumerate(rngs):
+        intra[position] = aging_pair(
+            modules,
+            factory,
+            rng,
+            aging_hours=aging_hours,
+            segment_bytes=segment_bytes,
+        )
+    return intra
+
+
 @dataclass
 class PUFEvaluator:
     """Evaluates PUF quality over a set of modules.
@@ -200,21 +335,23 @@ class PUFEvaluator:
     def quality_shard(
         self, start: int, stop: int, temperature_c: float = 30.0
     ) -> tuple[JaccardDistribution, JaccardDistribution]:
-        """``(intra, inter)`` distributions of pairs ``[start, stop)``."""
+        """``(intra, inter)`` distributions of pairs ``[start, stop)``.
+
+        Routed through :func:`quality_pairs_batch` on the per-pair streams of
+        the shard's index range (bit-identical to the scalar kernel loop).
+        """
         self._check_range(start, stop)
-        intra = JaccardDistribution()
-        inter = JaccardDistribution()
-        for index in range(start, stop):
-            intra_value, inter_value = quality_pair(
-                self.modules,
-                self.puf_factory,
-                self._streams.rng("quality", index),
-                segment_bytes=self.segment_bytes,
-                temperature_c=temperature_c,
-            )
-            intra.add(intra_value)
-            inter.add(inter_value)
-        return intra, inter
+        intra, inter = quality_pairs_batch(
+            self.modules,
+            self.puf_factory,
+            self._pair_rngs("quality", start, stop),
+            segment_bytes=self.segment_bytes,
+            temperature_c=temperature_c,
+        )
+        return (
+            JaccardDistribution.from_values(intra),
+            JaccardDistribution.from_values(inter),
+        )
 
     def quality(
         self, temperature_c: float = 30.0, puf_name: str | None = None
@@ -236,19 +373,15 @@ class PUFEvaluator:
     ) -> JaccardDistribution:
         """Intra distribution of pairs ``[start, stop)`` at one delta."""
         self._check_range(start, stop)
-        distribution = JaccardDistribution()
-        for index in range(start, stop):
-            distribution.add(
-                temperature_pair(
-                    self.modules,
-                    self.puf_factory,
-                    self._streams.rng("temperature", float(delta_c), index),
-                    delta_c=delta_c,
-                    segment_bytes=self.segment_bytes,
-                    base_temperature_c=base_temperature_c,
-                )
-            )
-        return distribution
+        intra = temperature_pairs_batch(
+            self.modules,
+            self.puf_factory,
+            self._pair_rngs("temperature", start, stop, float(delta_c)),
+            delta_c=delta_c,
+            segment_bytes=self.segment_bytes,
+            base_temperature_c=base_temperature_c,
+        )
+        return JaccardDistribution.from_values(intra)
 
     def temperature_sweep(
         self,
@@ -275,18 +408,14 @@ class PUFEvaluator:
     ) -> JaccardDistribution:
         """Aging distribution of pairs ``[start, stop)``."""
         self._check_range(start, stop)
-        distribution = JaccardDistribution()
-        for index in range(start, stop):
-            distribution.add(
-                aging_pair(
-                    self.modules,
-                    self.puf_factory,
-                    self._streams.rng("aging", index),
-                    aging_hours=aging_hours,
-                    segment_bytes=self.segment_bytes,
-                )
-            )
-        return distribution
+        intra = aging_pairs_batch(
+            self.modules,
+            self.puf_factory,
+            self._pair_rngs("aging", start, stop),
+            aging_hours=aging_hours,
+            segment_bytes=self.segment_bytes,
+        )
+        return JaccardDistribution.from_values(intra)
 
     def aging_study(self, aging_hours: float = 8.0) -> JaccardDistribution:
         """Intra-Jaccard between pre-aging and post-aging responses.
@@ -301,6 +430,14 @@ class PUFEvaluator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _pair_rngs(
+        self, label: str, start: int, stop: int, *extra_labels: object
+    ) -> list[np.random.Generator]:
+        """Per-pair streams of an index range (the same streams the scalar
+        path hands ``<label>_pair`` one at a time)."""
+        subtree = self._streams.child(label, *extra_labels)
+        return [subtree.rng(index) for index in range(start, stop)]
+
     def _check_range(self, start: int, stop: int) -> None:
         if not 0 <= start <= stop <= self.pairs:
             raise ValueError(

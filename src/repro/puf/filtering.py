@@ -5,23 +5,32 @@ characteristic behaviour may occasionally not, and vice versa.  The paper
 distinguishes between the *heavy* filtering the DRAM Latency PUF needs
 (100 reads, keep cells failing more than 90 times) and the *lightweight*
 filter that is sufficient for CODIC-sig and PreLatPUF (5 reads).  Both reduce
-to simple set combinators over repeated observations.
+to set combinators over repeated observations, implemented here as vectorized
+operations over sorted position arrays (:mod:`repro.puf.positions`).
+Observations may be given as arrays or as Python sets; the result is always a
+canonical sorted ``np.int64`` array.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.puf.positions import as_position_array, intersect_positions
 
 
 def majority_filter(
-    observations: Sequence[frozenset[int]], threshold: int | None = None
-) -> frozenset[int]:
+    observations: "Sequence[np.ndarray | frozenset[int] | set[int]]",
+    threshold: int | None = None,
+) -> np.ndarray:
     """Keep positions that appear in more than ``threshold`` observations.
 
     With the default threshold (strict majority), a position must appear in
     more than half of the observations.  The DRAM Latency PUF uses 100
-    observations with a threshold of 90.
+    observations with a threshold of 90.  Implemented as one
+    ``np.unique(..., return_counts=True)`` over the concatenated observation
+    arrays.
     """
     if not observations:
         raise ValueError("at least one observation is required")
@@ -31,25 +40,39 @@ def majority_filter(
         raise ValueError(
             f"threshold {threshold} must be in [0, {len(observations) - 1}]"
         )
-    counts: Counter = Counter()
-    for observation in observations:
-        counts.update(observation)
-    return frozenset(
-        position for position, count in counts.items() if count > threshold
+    concatenated = np.concatenate(
+        [as_position_array(observation) for observation in observations]
     )
+    positions, counts = np.unique(concatenated, return_counts=True)
+    return positions[counts > threshold]
 
 
-def intersect_filter(observations: Iterable[frozenset[int]]) -> frozenset[int]:
+def intersect_filter(
+    observations: "Iterable[np.ndarray | frozenset[int] | set[int]]",
+) -> np.ndarray:
     """Keep only positions present in *every* observation.
 
     This is the conservative filter the paper applies to CODIC-sig and
     PreLatPUF responses ("a conservative filter of 5 challenges for
     generating always the same response"): the resulting response contains
-    only perfectly repeatable positions.
+    only perfectly repeatable positions.  Implemented as a reduction with
+    ``np.intersect1d(assume_unique=True)`` over sorted observation arrays.
     """
-    result: frozenset[int] | None = None
+    result: np.ndarray | None = None
+    reduced = False
     for observation in observations:
-        result = observation if result is None else (result & observation)
+        array = as_position_array(observation)
+        if result is None:
+            result = array
+        else:
+            result = intersect_positions(result, array)
+            reduced = True
     if result is None:
         raise ValueError("at least one observation is required")
+    if not reduced:
+        # A single observation would be returned as the caller's own array
+        # (as_position_array passes canonical ndarrays through); copy so the
+        # result is always an independent array, like every multi-observation
+        # path.
+        result = result.copy()
     return result

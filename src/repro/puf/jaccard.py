@@ -7,53 +7,109 @@ compares responses to different challenges (ideal value: 0 -- the PUF is
 unique).  Figure 5 plots the distributions of both indices over 10,000 random
 segment pairs; :class:`JaccardDistribution` reproduces those distributions
 and their histogram representation.
+
+:class:`JaccardDistribution` is backed by a growable ``float64`` array:
+``extend``/``merge`` are `np.concatenate`-style block appends with vectorized
+range validation, and the summary statistics are computed once per mutation
+generation and cached.  The stored values are identical floats to the former
+list-based implementation, so shard merges and JSON encodings are unchanged
+byte for byte.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.puf.positions import as_position_array, jaccard_index_arrays
 
-def jaccard_index(first: frozenset[int] | set, second: frozenset[int] | set) -> float:
-    """Jaccard similarity of two position sets.
+
+def jaccard_index(
+    first: "np.ndarray | frozenset[int] | set[int]",
+    second: "np.ndarray | frozenset[int] | set[int]",
+) -> float:
+    """Jaccard similarity of two position collections.
 
     Two empty sets are treated as identical (index 1.0), matching the
-    convention in :meth:`repro.puf.base.PUFResponse.jaccard_with`.
+    convention in :meth:`repro.puf.base.PUFResponse.jaccard_with`.  Inputs
+    may be sorted position arrays or Python sets; either form yields the
+    same exact integer-cardinality ratio.
     """
-    first = set(first)
-    second = set(second)
-    union = first | second
-    if not union:
-        return 1.0
-    return len(first & second) / len(union)
+    return jaccard_index_arrays(as_position_array(first), as_position_array(second))
 
 
-@dataclass
+#: Initial capacity of a distribution's backing array.
+_INITIAL_CAPACITY = 64
+
+
 class JaccardDistribution:
-    """A collection of Jaccard indices with summary statistics."""
+    """A collection of Jaccard indices with summary statistics.
 
-    values: list[float] = field(default_factory=list)
+    Values live in a growable ``float64`` ndarray; ``as_array()`` exposes a
+    read-only snapshot and :attr:`values` a plain-list copy (the JSON-safe
+    form the engine cache persists).  Mean/median/std are cached per
+    mutation generation.
+    """
+
+    __slots__ = ("_data", "_size", "_stats")
+
+    def __init__(self, values: Iterable[float] | None = None) -> None:
+        self._data = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._size = 0
+        self._stats: dict[str, float] | None = None
+        if values is not None:
+            self.extend(values)
+
+    # ------------------------------------------------------------------
+    # Construction and mutation
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> list[float]:
+        """The recorded indices as a plain list.
+
+        This is a fresh JSON-safe *copy* on every access (unlike the former
+        list-backed field): mutating the returned list does not affect the
+        distribution -- use :meth:`add`/:meth:`extend` to record indices.
+        """
+        return self.as_array().tolist()
+
+    def as_array(self) -> np.ndarray:
+        """Read-only ndarray snapshot of the recorded indices."""
+        view = self._data[: self._size]
+        view.setflags(write=False)
+        return view
 
     def add(self, value: float) -> None:
         """Record one Jaccard index."""
         if not 0.0 <= value <= 1.0:
             raise ValueError(f"Jaccard index must be in [0, 1], got {value}")
-        self.values.append(value)
+        self._reserve(1)
+        self._data[self._size] = value
+        self._size += 1
+        self._stats = None
 
     def extend(self, values: Iterable[float]) -> None:
-        """Record many Jaccard indices."""
-        for value in values:
-            self.add(value)
+        """Record many Jaccard indices (vectorized validation and append)."""
+        if isinstance(values, JaccardDistribution):
+            block = values.as_array()
+        elif isinstance(values, np.ndarray):
+            block = values.astype(np.float64, copy=False)
+        else:
+            block = np.fromiter(values, dtype=np.float64)
+        if block.size == 0:
+            return
+        invalid = ~((block >= 0.0) & (block <= 1.0))
+        if invalid.any():
+            offender = block[int(np.argmax(invalid))]
+            raise ValueError(f"Jaccard index must be in [0, 1], got {offender}")
+        self._append_block(block)
 
     @classmethod
-    def from_values(cls, values: Iterable[float]) -> "JaccardDistribution":
-        """Build a validated distribution from an iterable of indices."""
-        distribution = cls()
-        distribution.extend(values)
-        return distribution
+    def from_values(cls, values: "Iterable[float] | np.ndarray") -> "JaccardDistribution":
+        """Build a validated distribution from indices (ndarrays take the
+        vectorized block-append path inside :meth:`extend`)."""
+        return cls(values)
 
     @classmethod
     def merge(cls, parts: "Iterable[JaccardDistribution]") -> "JaccardDistribution":
@@ -62,45 +118,95 @@ class JaccardDistribution:
         Merging is associative, so shard results can be combined pairwise or
         all at once: merging the shards of a pair range in index order yields
         exactly the distribution a serial evaluation of the full range
-        produces (each pair owns an index-derived RNG stream).
+        produces (each pair owns an index-derived RNG stream).  Parts are
+        already validated, so the merge is a plain ``np.concatenate``.
         """
         merged = cls()
-        for part in parts:
-            merged.values.extend(part.values)
+        arrays = [part.as_array() for part in parts]
+        arrays = [array for array in arrays if array.size]
+        if arrays:
+            merged._append_block(np.concatenate(arrays))
         return merged
 
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed <= self._data.size:
+            return
+        capacity = max(self._data.size * 2, needed, _INITIAL_CAPACITY)
+        grown = np.empty(capacity, dtype=np.float64)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+
+    def _append_block(self, block: np.ndarray) -> None:
+        self._reserve(block.size)
+        self._data[self._size : self._size + block.size] = block
+        self._size += int(block.size)
+        self._stats = None
+
     def __len__(self) -> int:
-        return len(self.values)
+        return self._size
+
+    def __getstate__(self) -> np.ndarray:
+        # Serialize only the recorded values: the spare capacity of the
+        # backing buffer is uninitialized memory, which would make pickles
+        # nondeterministic (and up to 2x larger) for equal distributions.
+        return self._data[: self._size].copy()
+
+    def __setstate__(self, state: np.ndarray) -> None:
+        self._data = np.asarray(state, dtype=np.float64)
+        self._size = int(self._data.size)
+        self._stats = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JaccardDistribution):
+            return NotImplemented
+        return bool(np.array_equal(self.as_array(), other.as_array()))
+
+    def __repr__(self) -> str:
+        return f"JaccardDistribution(count={self._size}, mean={self.mean:.4f})"
 
     # ------------------------------------------------------------------
     # Summary statistics
     # ------------------------------------------------------------------
+    def _summary_stats(self) -> dict[str, float]:
+        if self._stats is None:
+            if self._size:
+                array = self._data[: self._size]
+                self._stats = {
+                    "mean": float(np.mean(array)),
+                    "median": float(np.median(array)),
+                    "std": float(np.std(array)),
+                }
+            else:
+                self._stats = {"mean": 0.0, "median": 0.0, "std": 0.0}
+        return self._stats
+
     @property
     def mean(self) -> float:
         """Mean index (0 when empty)."""
-        return float(np.mean(self.values)) if self.values else 0.0
+        return self._summary_stats()["mean"]
 
     @property
     def median(self) -> float:
         """Median index (0 when empty)."""
-        return float(np.median(self.values)) if self.values else 0.0
+        return self._summary_stats()["median"]
 
     @property
     def std(self) -> float:
         """Standard deviation (dispersion of the distribution)."""
-        return float(np.std(self.values)) if self.values else 0.0
+        return self._summary_stats()["std"]
 
     def fraction_above(self, threshold: float) -> float:
         """Fraction of indices strictly above ``threshold``."""
-        if not self.values:
+        if not self._size:
             return 0.0
-        return float(np.mean(np.asarray(self.values) > threshold))
+        return float(np.mean(self._data[: self._size] > threshold))
 
     def fraction_below(self, threshold: float) -> float:
         """Fraction of indices strictly below ``threshold``."""
-        if not self.values:
+        if not self._size:
             return 0.0
-        return float(np.mean(np.asarray(self.values) < threshold))
+        return float(np.mean(self._data[: self._size] < threshold))
 
     # ------------------------------------------------------------------
     # Histogram (Figure 5 representation)
@@ -114,7 +220,9 @@ class JaccardDistribution:
         """
         if bins <= 0:
             raise ValueError("bins must be positive")
-        counts, edges = np.histogram(self.values, bins=bins, range=(0.0, 1.0))
+        counts, edges = np.histogram(
+            self._data[: self._size], bins=bins, range=(0.0, 1.0)
+        )
         total = counts.sum()
         probabilities = (100.0 * counts / total) if total else counts.astype(float)
         return edges, probabilities
@@ -122,17 +230,20 @@ class JaccardDistribution:
     def summary(self) -> dict[str, float]:
         """Compact summary used in reports."""
         return {
-            "count": float(len(self.values)),
+            "count": float(self._size),
             "mean": self.mean,
             "median": self.median,
             "std": self.std,
         }
 
 
-def pairwise_jaccard(responses: Sequence[frozenset[int]]) -> JaccardDistribution:
+def pairwise_jaccard(
+    responses: "Sequence[np.ndarray | frozenset[int] | set[int]]",
+) -> JaccardDistribution:
     """All-pairs Jaccard distribution of a set of responses."""
+    arrays = [as_position_array(response) for response in responses]
     distribution = JaccardDistribution()
-    for i in range(len(responses)):
-        for j in range(i + 1, len(responses)):
-            distribution.add(jaccard_index(responses[i], responses[j]))
+    for i in range(len(arrays)):
+        for j in range(i + 1, len(arrays)):
+            distribution.add(jaccard_index_arrays(arrays[i], arrays[j]))
     return distribution

@@ -9,7 +9,7 @@ segment 100 times and keeps only cells that failed more than 90 times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,7 +31,9 @@ class DRAMLatencyPUF:
     name: str = "DRAM Latency PUF"
     noise_seed: int = 202
 
-    _evaluations: int = 0
+    #: Count of default-seeded raw evaluations; bookkeeping only (excluded
+    #: from equality/repr, untouched when the caller supplies an rng).
+    _evaluations: int = field(default=0, compare=False, repr=False)
 
     def evaluation_passes(self) -> int:
         """Raw segment evaluations needed per response."""
@@ -44,10 +46,11 @@ class DRAMLatencyPUF:
         rng: np.random.Generator | None = None,
     ) -> PUFResponse:
         """Evaluate the PUF on one challenge (filtered response)."""
-        self._evaluations += 1
-        noise_rng = rng if rng is not None else make_rng(
-            self.noise_seed, "latency-puf", self._evaluations
-        )
+        if rng is None:
+            self._evaluations += 1
+            noise_rng = make_rng(self.noise_seed, "latency-puf", self._evaluations)
+        else:
+            noise_rng = rng
         positions = self.module.rcd_filtered_response(
             challenge.segment,
             trcd_ns=self.trcd_ns,
@@ -56,8 +59,11 @@ class DRAMLatencyPUF:
             temperature_c=temperature_c,
             rng=noise_rng,
         )
+        # Freshly built and unaliased: freeze in place so PUFResponse takes
+        # the zero-copy fast path.
+        positions.setflags(write=False)
         return PUFResponse(
-            positions=positions, challenge=challenge, temperature_c=temperature_c
+            position_array=positions, challenge=challenge, temperature_c=temperature_c
         )
 
     def evaluate_unfiltered(
@@ -72,16 +78,18 @@ class DRAMLatencyPUF:
         of much lower quality; this method exposes that configuration for the
         quality-versus-latency ablation.
         """
-        self._evaluations += 1
-        noise_rng = rng if rng is not None else make_rng(
-            self.noise_seed, "latency-puf-raw", self._evaluations
-        )
+        if rng is None:
+            self._evaluations += 1
+            noise_rng = make_rng(self.noise_seed, "latency-puf-raw", self._evaluations)
+        else:
+            noise_rng = rng
         positions = self.module.rcd_response(
             challenge.segment,
             trcd_ns=self.trcd_ns,
             temperature_c=temperature_c,
             rng=noise_rng,
         )
+        positions.setflags(write=False)
         return PUFResponse(
-            positions=positions, challenge=challenge, temperature_c=temperature_c
+            position_array=positions, challenge=challenge, temperature_c=temperature_c
         )

@@ -14,7 +14,7 @@ the underlying failure mechanisms under the same conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -36,7 +36,9 @@ class PreLatPUF:
     name: str = "PreLatPUF"
     noise_seed: int = 303
 
-    _evaluations: int = 0
+    #: Count of default-seeded raw evaluations; bookkeeping only (excluded
+    #: from equality/repr, untouched when the caller supplies an rng).
+    _evaluations: int = field(default=0, compare=False, repr=False)
 
     def evaluation_passes(self) -> int:
         """Raw segment evaluations needed per response."""
@@ -49,17 +51,19 @@ class PreLatPUF:
         rng: np.random.Generator | None = None,
     ) -> PUFResponse:
         """Evaluate the PUF on one challenge."""
-        observations = []
-        for pass_index in range(self.filter_passes):
-            observations.append(
-                self._single_pass(challenge, temperature_c, rng, pass_index)
-            )
+        observations = [
+            self._single_pass(challenge, temperature_c, rng, pass_index)
+            for pass_index in range(self.filter_passes)
+        ]
         if len(observations) == 1:
             positions = observations[0]
         else:
             positions = intersect_filter(observations)
+        # Freshly built and unaliased: freeze in place so PUFResponse takes
+        # the zero-copy fast path.
+        positions.setflags(write=False)
         return PUFResponse(
-            positions=positions, challenge=challenge, temperature_c=temperature_c
+            position_array=positions, challenge=challenge, temperature_c=temperature_c
         )
 
     def _single_pass(
@@ -68,11 +72,14 @@ class PreLatPUF:
         temperature_c: float,
         rng: np.random.Generator | None,
         pass_index: int,
-    ) -> frozenset[int]:
-        self._evaluations += 1
-        noise_rng = rng if rng is not None else make_rng(
-            self.noise_seed, "prelat-puf", self._evaluations, pass_index
-        )
+    ) -> np.ndarray:
+        if rng is None:
+            self._evaluations += 1
+            noise_rng = make_rng(
+                self.noise_seed, "prelat-puf", self._evaluations, pass_index
+            )
+        else:
+            noise_rng = rng
         return self.module.rp_response(
             challenge.segment,
             trp_ns=self.trp_ns,

@@ -22,6 +22,7 @@ import numpy as np
 from repro.dram.module import DRAMModule
 from repro.puf.base import Challenge
 from repro.puf.codic_puf import CODICSigPUF
+from repro.puf.positions import as_position_array
 from repro.rng.extractor import von_neumann_extract
 from repro.utils.rng import make_rng
 
@@ -29,32 +30,36 @@ from repro.utils.rng import make_rng
 ADDRESS_BITS = 8
 
 
-def positions_to_dense_bits(positions: frozenset[int], segment_bits: int) -> np.ndarray:
+def positions_to_dense_bits(
+    positions: "np.ndarray | frozenset[int] | set[int]", segment_bits: int
+) -> np.ndarray:
     """Expand a response's position set into the full segment bit values."""
     dense = np.zeros(segment_bits, dtype=np.uint8)
-    if positions:
-        dense[np.fromiter(positions, dtype=np.int64)] = 1
+    array = as_position_array(positions)
+    if array.size:
+        dense[array] = 1
     return dense
 
 
 def positions_to_address_bits(
-    positions: frozenset[int], address_bits: int = ADDRESS_BITS
+    positions: "np.ndarray | frozenset[int] | set[int]",
+    address_bits: int = ADDRESS_BITS,
 ) -> np.ndarray:
     """Serialize the low-order address bits of each response position.
 
     Only the low-order bits are used: the positions are emitted in sorted
-    order (sets are unordered), so high-order bits of consecutive addresses
-    would be strongly correlated, whereas the low-order bits of uniformly
-    scattered positions are close to independent fair bits.
+    order (the canonical array order), so high-order bits of consecutive
+    addresses would be strongly correlated, whereas the low-order bits of
+    uniformly scattered positions are close to independent fair bits.
     """
     if address_bits <= 0:
         raise ValueError("address_bits must be positive")
-    chunks = []
-    for position in sorted(positions):
-        chunks.append([(position >> bit) & 1 for bit in range(address_bits)])
-    if not chunks:
+    array = as_position_array(positions)
+    if array.size == 0:
         return np.empty(0, dtype=np.uint8)
-    return np.asarray(chunks, dtype=np.uint8).reshape(-1)
+    shifts = np.arange(address_bits, dtype=np.int64)
+    bits = (array[:, np.newaxis] >> shifts) & 1
+    return bits.astype(np.uint8).reshape(-1)
 
 
 def signature_bitstream(
@@ -92,9 +97,9 @@ def signature_bitstream(
         challenge = Challenge.random(module, rng)
         response = puf.evaluate(challenge, temperature_c=temperature_c, rng=rng)
         if mode == "values":
-            bits = positions_to_dense_bits(response.positions, module.segment_bits)
+            bits = positions_to_dense_bits(response.position_array, module.segment_bits)
         else:
-            bits = positions_to_address_bits(response.positions)
+            bits = positions_to_address_bits(response.position_array)
         if bits.size == 0:
             continue
         collected.append(bits)

@@ -58,13 +58,19 @@ class TestPUFResponse:
 class TestFilters:
     def test_majority_filter_default_threshold(self):
         observations = [frozenset({1, 2}), frozenset({1}), frozenset({1, 3})]
-        assert majority_filter(observations) == frozenset({1})
+        assert np.array_equal(majority_filter(observations), [1])
 
     def test_majority_filter_explicit_threshold(self):
         # Position 1 appears 91 times (> 90), position 2 appears 100 times,
         # position 3 appears only 9 times and must be filtered out.
         observations = [frozenset({1, 2})] * 91 + [frozenset({2, 3})] * 9
-        assert majority_filter(observations, threshold=90) == frozenset({1, 2})
+        assert np.array_equal(majority_filter(observations, threshold=90), [1, 2])
+
+    def test_majority_filter_accepts_arrays(self):
+        observations = [np.array([1, 2]), np.array([1]), np.array([1, 3])]
+        result = majority_filter(observations)
+        assert result.dtype == np.int64
+        assert np.array_equal(result, [1])
 
     def test_majority_filter_validation(self):
         with pytest.raises(ValueError):
@@ -74,7 +80,11 @@ class TestFilters:
 
     def test_intersect_filter(self):
         observations = [frozenset({1, 2, 3}), frozenset({2, 3}), frozenset({3, 2, 9})]
-        assert intersect_filter(observations) == frozenset({2, 3})
+        assert np.array_equal(intersect_filter(observations), [2, 3])
+
+    def test_intersect_filter_accepts_arrays(self):
+        observations = [np.array([1, 2, 3]), np.array([2, 3]), np.array([2, 3, 9])]
+        assert np.array_equal(intersect_filter(observations), [2, 3])
 
     def test_intersect_filter_empty_input(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Render the committed pairs/sec trajectory as a text table.
+
+Reads ``BENCH_pair_kernels.json`` at the repository root (or ``--file``) and
+prints one row per (entry, kernel-configuration) so the throughput trend
+across commits is visible at a glance::
+
+    $ python benchmarks/summarize_trajectory.py
+    pairs/sec trajectory -- fig5-quality (unit: pairs_per_second)
+    ...
+
+Pure stdlib on purpose: runs anywhere (CI steps, fresh checkouts) without
+``PYTHONPATH`` or the package installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_pair_kernels.json"
+
+
+def trajectory_rows(data: dict) -> tuple[list[str], list[list[str]]]:
+    """Flatten trajectory entries into (headers, rows) for rendering.
+
+    One row per (entry, configuration); PUF columns are the union of every
+    PUF seen, in first-appearance order, so partial entries still line up.
+    """
+    pufs: list[str] = []
+    for entry in data.get("entries", []):
+        for rates in entry.get("pairs_per_second", {}).values():
+            for puf in rates:
+                if puf not in pufs:
+                    pufs.append(puf)
+    headers = ["entry", "date", "config", "pairs"] + pufs
+    rows = []
+    for entry in data.get("entries", []):
+        for config, rates in entry.get("pairs_per_second", {}).items():
+            rows.append(
+                [
+                    entry.get("label", "?"),
+                    entry.get("date", "?"),
+                    config,
+                    str(entry.get("pairs", "?")),
+                ]
+                + [
+                    f"{rates[puf]:.1f}" if puf in rates else "-"
+                    for puf in pufs
+                ]
+            )
+    return headers, rows
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table with column-width alignment (labels left, rates right)."""
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+
+    def format_row(cells: list[str]) -> str:
+        formatted = []
+        for column, cell in enumerate(cells):
+            if column < 4:  # label columns
+                formatted.append(cell.ljust(widths[column]))
+            else:  # rate columns
+                formatted.append(cell.rjust(widths[column]))
+        return "  ".join(formatted).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    return "\n".join([format_row(headers), separator] + [format_row(row) for row in rows])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render the committed pairs/sec trajectory as a text table."
+    )
+    parser.add_argument(
+        "--file",
+        type=Path,
+        default=DEFAULT_FILE,
+        metavar="PATH",
+        help="trajectory JSON (default: BENCH_pair_kernels.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        data = json.loads(args.file.read_text())
+    except (OSError, ValueError) as error:
+        print(f"cannot read trajectory file {args.file}: {error}", file=sys.stderr)
+        return 1
+    workload = data.get("workload", {})
+    print(
+        f"pairs/sec trajectory -- {workload.get('experiment', '?')} "
+        f"(unit: {data.get('unit', '?')})"
+    )
+    headers, rows = trajectory_rows(data)
+    if not rows:
+        print("no entries recorded yet")
+        return 0
+    print(render_table(headers, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,11 +5,17 @@ The engine is the substrate every scaling feature builds on:
 * :mod:`repro.engine.jobs` -- picklable job descriptions (registry
   experiments, Monte Carlo sweep points/shards, PUF pair batches) with
   deterministic configs, plus the :class:`ShardedJob` split/merge protocol;
-* :mod:`repro.engine.executor` -- serial / ``ProcessPoolExecutor`` runners
-  with progress reporting and fail-fast error aggregation;
-* :mod:`repro.engine.sharding` -- :func:`run_sharded`, which expands sharded
-  jobs so that the work *inside* one job (Monte Carlo samples, Jaccard
-  pairs) fans out across the same pool, bit-identical to a serial run;
+* :mod:`repro.engine.executor` -- the :class:`JobEvent` stream
+  (:func:`iter_jobs`) over serial / ``ProcessPoolExecutor`` execution, with
+  :func:`run_jobs` as the drain-the-stream wrapper (progress reporting,
+  fail-fast error aggregation, submission-order outcomes);
+* :mod:`repro.engine.sharding` -- :func:`iter_sharded`/:func:`run_sharded`,
+  which expand sharded jobs so that the work *inside* one job (Monte Carlo
+  samples, Jaccard pairs) fans out across the same pool and merges the
+  moment each job's last shard lands, bit-identical to a serial run;
+* :mod:`repro.engine.daemon` -- a unix-socket server owning a persistent
+  process pool and an in-memory result index, so repeat invocations skip
+  pool spin-up and disk re-reads entirely;
 * :mod:`repro.engine.cache` -- a content-addressed on-disk result store
   keyed by SHA-256(kind + config + code fingerprint), with LRU pruning;
 * :mod:`repro.engine.serialization` -- lossless JSON round-trips for results
@@ -25,7 +31,28 @@ Quickstart
 """
 
 from repro.engine.cache import CacheStats, ResultCache, default_cache_dir, source_fingerprint
-from repro.engine.executor import EngineError, JobOutcome, run_jobs
+from repro.engine.daemon import (
+    DaemonClient,
+    DaemonError,
+    ExperimentDaemon,
+    MemoryIndexCache,
+    default_socket_path,
+    start_daemon,
+    stop_daemon,
+)
+from repro.engine.executor import (
+    CACHED,
+    FAILED,
+    FINISHED,
+    SCHEDULED,
+    STARTED,
+    TERMINAL_EVENTS,
+    EngineError,
+    JobEvent,
+    JobOutcome,
+    iter_jobs,
+    run_jobs,
+)
 from repro.engine.jobs import (
     ExperimentJob,
     Job,
@@ -42,15 +69,26 @@ from repro.engine.serialization import (
     result_to_json,
     to_jsonable,
 )
-from repro.engine.sharding import run_sharded
+from repro.engine.sharding import iter_sharded, run_sharded
 from repro.engine.sweep import grid, monte_carlo_grid, run_sweep
 
 __all__ = [
+    "CACHED",
+    "FAILED",
+    "FINISHED",
+    "SCHEDULED",
+    "STARTED",
+    "TERMINAL_EVENTS",
     "CacheStats",
+    "DaemonClient",
+    "DaemonError",
     "EngineError",
+    "ExperimentDaemon",
     "ExperimentJob",
     "Job",
+    "JobEvent",
     "JobOutcome",
+    "MemoryIndexCache",
     "MonteCarloPointJob",
     "MonteCarloShardJob",
     "PUFPairsJob",
@@ -59,7 +97,10 @@ __all__ = [
     "ShardedJob",
     "canonical_json",
     "default_cache_dir",
+    "default_socket_path",
     "grid",
+    "iter_jobs",
+    "iter_sharded",
     "monte_carlo_grid",
     "result_from_json",
     "result_to_json",
@@ -68,5 +109,7 @@ __all__ = [
     "run_sweep",
     "shard_ranges",
     "source_fingerprint",
+    "start_daemon",
+    "stop_daemon",
     "to_jsonable",
 ]

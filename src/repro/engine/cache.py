@@ -111,15 +111,26 @@ class ResultCache:
     def get(self, job: Job) -> Any | None:
         """Decoded cached result for ``job``, or ``None`` on a miss.
 
-        A corrupt, unreadable, or undecodable blob counts as a miss (and is
-        left for the next :meth:`put` to overwrite).
+        A corrupt, truncated, or undecodable blob (garbage JSON, a partial
+        write, a payload the job cannot decode) counts as a miss *and is
+        evicted* so it cannot shadow the key or linger in the store.  A
+        transient read error (``OSError`` other than the file being absent)
+        is a plain miss: the blob may be perfectly valid, so it is left in
+        place.
         """
         path = self.path_for(job)
         try:
             entry = json.loads(path.read_text())
             value = job.decode(entry["payload"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
             self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            try:
+                path.unlink()  # evict the bad blob instead of leaving it
+            except OSError:
+                pass
             return None
         try:
             os.utime(path)  # refresh recency for LRU pruning

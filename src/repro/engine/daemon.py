@@ -1,0 +1,580 @@
+"""Warm execution daemon: a unix-domain-socket server over the engine.
+
+Every cold CLI invocation pays process-pool spin-up and a disk read per
+cache lookup.  The daemon amortises both across invocations: it owns a
+long-lived ``ProcessPoolExecutor`` (workers stay forked and warm) and
+layers an in-memory decoded-result index over the on-disk
+:class:`ResultCache` so a warm request never re-stats or re-reads a blob.
+The daemon hashes the source fingerprint once at start; clients send their
+own fingerprint with every submit and are refused (``stale`` frame) when
+the sources have changed since, so a long-lived daemon can never silently
+serve results computed by old code.
+
+Protocol -- length-prefixed NDJSON over ``AF_UNIX``.  Each frame is one JSON
+object serialized to a single line, preceded by its byte length on its own
+line (so consumers can pre-allocate and corrupt streams fail loudly)::
+
+    22\n
+    {"op":"status","v":1}\n
+
+Requests (client -> daemon): ``submit`` (experiment ids + quick/shard_size;
+the daemon answers with one ``event`` frame per
+:class:`~repro.engine.executor.JobEvent` as shards land, then a ``done``
+frame carrying per-request cache stats), ``status``, ``ping``, and
+``shutdown``.  Error responses are ``{"type": "error", "message": ...}``.
+
+The CLI degrades gracefully: when no daemon is listening on the socket
+(``$REPRO_DAEMON_SOCKET`` or the per-user default), execution happens
+inline in the invoking process, bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, BinaryIO, Iterator
+
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.jobs import ExperimentJob
+from repro.engine.sharding import iter_sharded
+
+#: Environment override for the daemon socket location.
+SOCKET_ENV = "REPRO_DAEMON_SOCKET"
+
+#: Protocol version stamped on every request/response frame.
+PROTOCOL_VERSION = 1
+
+#: Frames larger than this are rejected (corrupt length headers fail fast).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class DaemonError(RuntimeError):
+    """Daemon unreachable, already running, or a protocol violation."""
+
+
+def default_socket_path() -> Path:
+    """Socket path from ``$REPRO_DAEMON_SOCKET``, else a private per-user dir.
+
+    Without the override, the socket lives inside a directory only the
+    current user can enter (``$XDG_RUNTIME_DIR`` when set, else a ``0700``
+    per-user directory under the temp dir) -- a predictable socket directly
+    in world-writable ``/tmp`` could be squatted by another local user, who
+    could then spoof experiment results to auto-routing clients.  Raises
+    :class:`DaemonError` if the directory exists but is not exclusively
+    ours.
+    """
+    env = os.environ.get(SOCKET_ENV)
+    if env:
+        return Path(env)
+    runtime = os.environ.get("XDG_RUNTIME_DIR")
+    if runtime:
+        return Path(runtime) / "repro-daemon.sock"
+    if not hasattr(os, "getuid"):  # pragma: no cover - daemon needs AF_UNIX anyway
+        return Path(tempfile.gettempdir()) / "repro-daemon.sock"
+    directory = Path(tempfile.gettempdir()) / f"repro-daemon-{os.getuid()}"
+    try:
+        directory.mkdir(mode=0o700, exist_ok=True)
+        stat = directory.stat()
+    except OSError as error:
+        raise DaemonError(f"cannot secure daemon directory {directory}: {error}") from None
+    if stat.st_uid != os.getuid() or stat.st_mode & 0o077:
+        raise DaemonError(
+            f"daemon directory {directory} is not exclusively owned by this "
+            f"user (uid {stat.st_uid}, mode {stat.st_mode & 0o777:o}); refusing "
+            f"to trust it -- set ${SOCKET_ENV} to a private path instead"
+        )
+    return directory / "daemon.sock"
+
+
+def send_frame(wfile: BinaryIO, message: dict[str, Any]) -> None:
+    """Write one length-prefixed NDJSON frame."""
+    data = json.dumps(message, separators=(",", ":")).encode() + b"\n"
+    wfile.write(f"{len(data)}\n".encode() + data)
+    wfile.flush()
+
+
+def recv_frame(rfile: BinaryIO) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on a clean EOF, :class:`DaemonError` on junk."""
+    header = rfile.readline()
+    if not header:
+        return None
+    try:
+        length = int(header)
+    except ValueError:
+        raise DaemonError(f"bad frame length header: {header!r}") from None
+    if not 0 < length <= MAX_FRAME_BYTES:
+        raise DaemonError(f"frame length {length} out of range")
+    data = rfile.read(length)
+    if len(data) < length:
+        raise DaemonError("truncated frame")
+    try:
+        message = json.loads(data)
+    except ValueError as error:
+        raise DaemonError(f"frame is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise DaemonError("frame must be a JSON object")
+    return message
+
+
+class MemoryIndexCache:
+    """Write-through in-memory LRU index over an on-disk :class:`ResultCache`.
+
+    Duck-types the cache surface the engine uses (``get``/``put``/``stats``)
+    while keeping decoded result values in process memory keyed by their
+    content address, so a warm lookup touches no file and re-runs no
+    fingerprint -- the disk store stays the durable source of truth and is
+    still written through on every ``put``.  The index holds at most
+    ``max_entries`` values (least-recently-used evicted first), so a
+    long-lived daemon's memory stays bounded even as the disk store churns.
+    """
+
+    def __init__(self, disk: ResultCache, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.disk = disk
+        self.max_entries = max_entries
+        self._index: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.memory_hits = 0
+        self.disk_hits = 0
+
+    @property
+    def stats(self):
+        return self.disk.stats
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, job) -> Any | None:
+        key = self.disk.key_for(job)
+        with self._lock:
+            if key in self._index:
+                self.memory_hits += 1
+                self.stats.hits += 1
+                self._index.move_to_end(key)
+                return self._index[key]
+        value = self.disk.get(job)
+        if value is not None:
+            with self._lock:
+                self.disk_hits += 1
+                self._store(key, value)
+        return value
+
+    def put(self, job, value) -> None:
+        self.disk.put(job, value)
+        with self._lock:
+            self._store(self.disk.key_for(job), value)
+
+    def _store(self, key: str, value) -> None:
+        """Insert under the lock, evicting the LRU tail past ``max_entries``."""
+        self._index[key] = value
+        self._index.move_to_end(key)
+        while len(self._index) > self.max_entries:
+            self._index.popitem(last=False)
+
+
+def _warm_worker(index: int) -> int:
+    """No-op task submitted at startup so pool workers fork ahead of time."""
+    return index
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: a single request frame, then a response stream."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via the client
+        daemon: ExperimentDaemon = self.server.daemon  # type: ignore[attr-defined]
+        try:
+            request = recv_frame(self.rfile)
+        except DaemonError as error:
+            self._send({"type": "error", "message": str(error)})
+            return
+        if request is None:
+            return
+        daemon.count_request()
+        op = request.get("op")
+        try:
+            if op == "ping":
+                self._send({"type": "pong", "v": PROTOCOL_VERSION, "pid": os.getpid()})
+            elif op == "status":
+                self._send({"type": "status", **daemon.status()})
+            elif op == "submit":
+                self._handle_submit(daemon, request)
+            elif op == "shutdown":
+                self._send({"type": "ok", "pid": os.getpid()})
+                daemon.request_shutdown()
+            else:
+                self._send({"type": "error", "message": f"unknown op {op!r}"})
+        except BrokenPipeError:
+            pass  # client went away mid-stream; nothing to clean up here
+        except Exception:
+            self._send({"type": "error", "message": traceback.format_exc()})
+
+    def _send(self, message: dict[str, Any]) -> None:
+        try:
+            send_frame(self.wfile, message)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+
+    def _handle_submit(self, daemon: "ExperimentDaemon", request: dict[str, Any]) -> None:
+        from repro.experiments.registry import EXPERIMENTS
+
+        experiments = request.get("experiments") or []
+        unknown = [eid for eid in experiments if eid not in EXPERIMENTS]
+        if not experiments or unknown:
+            self._send(
+                {
+                    "type": "error",
+                    "message": f"unknown experiment(s): {', '.join(unknown)}"
+                    if unknown
+                    else "submit requires a non-empty experiments list",
+                }
+            )
+            return
+        quick = bool(request.get("quick", True))
+        shard_size = request.get("shard_size")
+        if shard_size is not None and (not isinstance(shard_size, int) or shard_size <= 0):
+            self._send({"type": "error", "message": "shard_size must be a positive int"})
+            return
+        # A client built from edited sources must not be served results (or
+        # computations) from the daemon's stale code: refuse so the caller
+        # can fall back inline and the operator can restart the daemon.
+        code_version = request.get("code_version")
+        daemon_version = daemon.cache.disk.code_version
+        if code_version is not None and code_version != daemon_version:
+            self._send(
+                {
+                    "type": "stale",
+                    "message": "daemon runs a different source fingerprint "
+                    "(package sources changed since daemon start); restart it "
+                    "with: daemon stop && daemon start",
+                    "daemon_code_version": daemon_version,
+                }
+            )
+            return
+        jobs = [ExperimentJob(eid, quick=quick) for eid in experiments]
+        roots = {id(job) for job in jobs}
+        memory0 = daemon.cache.memory_hits
+        served = computed = 0
+        for event in iter_sharded(
+            jobs,
+            shard_size=shard_size,
+            workers=daemon.workers,
+            cache=daemon.cache,
+            fail_fast=bool(request.get("fail_fast", True)),
+            ordered=bool(request.get("ordered", False)),
+            pool=daemon.pool,
+        ):
+            if event.terminal:
+                daemon.count_job()
+                if event.outcome is not None and event.outcome.cached:
+                    served += 1
+                else:
+                    computed += 1
+            include_value = (
+                event.terminal
+                and id(event.job) in roots
+                and event.outcome is not None
+                and event.outcome.ok
+            )
+            self._send(
+                {"type": "event", "event": event.to_dict(include_value=include_value)}
+            )
+        # hits/misses are derived from this request's own events (exact even
+        # under concurrent submits); memory_hits is a global-counter delta and
+        # therefore only attributable when requests do not overlap.
+        self._send(
+            {
+                "type": "done",
+                "hits": served,
+                "misses": computed,
+                "memory_hits": daemon.cache.memory_hits - memory0,
+            }
+        )
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+
+    class _Server(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = True
+
+else:  # pragma: no cover - platforms without AF_UNIX: daemon mode unavailable
+    _Server = None
+
+
+class ExperimentDaemon:
+    """Long-lived experiment server bound to one unix socket.
+
+    Owns the process pool and the memory-indexed cache; every connection is
+    handled on its own thread, all sharing the pool (each request waits only
+    on its own futures, so concurrent submits interleave safely).
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path | None = None,
+        cache_dir: str | Path | None = None,
+        workers: int = 2,
+    ):
+        self.socket_path = Path(socket_path) if socket_path else default_socket_path()
+        self.cache = MemoryIndexCache(
+            ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
+        )
+        self.workers = max(1, int(workers))
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.started_at = time.time()
+        self.requests = 0
+        self.jobs_completed = 0
+        self._counters_lock = threading.Lock()
+        self._server: _Server | None = None
+
+    def count_request(self) -> None:
+        with self._counters_lock:
+            self.requests += 1
+
+    def count_job(self) -> None:
+        with self._counters_lock:
+            self.jobs_completed += 1
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "v": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "socket": str(self.socket_path),
+            "cache_dir": str(self.cache.disk.cache_dir),
+            "workers": self.workers,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "requests": self.requests,
+            "jobs_completed": self.jobs_completed,
+            "index_entries": len(self.cache),
+            "memory_hits": self.cache.memory_hits,
+            "disk_hits": self.cache.disk_hits,
+            "disk_misses": self.cache.stats.misses,
+        }
+
+    def request_shutdown(self) -> None:
+        """Stop the accept loop (callable from a handler thread)."""
+        server = self._server
+        if server is not None:
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    def serve_forever(self) -> None:
+        """Bind the socket and serve until :meth:`request_shutdown`.
+
+        A stale socket file from a crashed daemon is reclaimed; a live one
+        raises :class:`DaemonError` instead of hijacking it.
+        """
+        if _Server is None:
+            raise DaemonError("daemon mode requires AF_UNIX socket support")
+        if self.socket_path.exists():
+            if DaemonClient(self.socket_path).is_running():
+                raise DaemonError(f"daemon already running on {self.socket_path}")
+            self.socket_path.unlink()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        # Fork the workers and import the experiment drivers now, so even the
+        # first request is served warm (the source fingerprint was already
+        # hashed when the cache was constructed).
+        for _ in self.pool.map(_warm_worker, range(self.workers)):
+            pass
+        from repro.experiments import registry  # noqa: F401 - pre-import drivers
+
+        self._server = _Server(str(self.socket_path), _Handler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._server.server_close()
+            self._server = None
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+            self.pool.shutdown(wait=False, cancel_futures=True)
+
+
+class DaemonClient:
+    """Client side of the daemon protocol."""
+
+    def __init__(self, socket_path: str | Path | None = None, timeout: float = 300.0):
+        self.socket_path = Path(socket_path) if socket_path else default_socket_path()
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as error:
+            sock.close()
+            raise DaemonError(
+                f"no daemon listening on {self.socket_path}: {error}"
+            ) from None
+        return sock
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """One-shot request returning the single response frame."""
+        try:
+            with self._connect() as sock, sock.makefile("rwb") as stream:
+                send_frame(stream, {"v": PROTOCOL_VERSION, **message})
+                response = recv_frame(stream)
+        except OSError as error:
+            # e.g. the daemon tore the connection down mid-exchange (shutdown)
+            raise DaemonError(f"daemon connection failed: {error}") from None
+        if response is None:
+            raise DaemonError("daemon closed the connection without responding")
+        return response
+
+    def submit(
+        self,
+        experiments: list[str],
+        *,
+        quick: bool = True,
+        shard_size: int | None = None,
+        ordered: bool = False,
+        fail_fast: bool = True,
+        code_version: str | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Submit experiments; yield ``event`` frames then the ``done`` frame.
+
+        Pass the client's :func:`~repro.engine.cache.source_fingerprint` as
+        ``code_version`` to be refused (a single ``stale`` frame) when the
+        daemon was started from different package sources -- a stale daemon
+        must not silently serve results keyed under old code.
+        """
+        try:
+            with self._connect() as sock, sock.makefile("rwb") as stream:
+                send_frame(
+                    stream,
+                    {
+                        "v": PROTOCOL_VERSION,
+                        "op": "submit",
+                        "experiments": list(experiments),
+                        "quick": quick,
+                        "shard_size": shard_size,
+                        "ordered": ordered,
+                        "fail_fast": fail_fast,
+                        "code_version": code_version,
+                    },
+                )
+                while True:
+                    frame = recv_frame(stream)
+                    if frame is None:
+                        raise DaemonError("daemon stream ended before the done frame")
+                    yield frame
+                    if frame.get("type") in ("done", "error", "stale"):
+                        return
+        except OSError as error:
+            raise DaemonError(f"daemon connection failed: {error}") from None
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def status(self) -> dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def is_running(self) -> bool:
+        """Whether a live daemon answers a ping on the socket."""
+        try:
+            return self.ping().get("type") == "pong"
+        except DaemonError:
+            return False
+
+
+def start_daemon(
+    socket_path: str | Path | None = None,
+    cache_dir: str | Path | None = None,
+    workers: int = 2,
+    wait_s: float = 30.0,
+) -> int:
+    """Spawn a detached daemon process and wait until it answers pings.
+
+    Returns the daemon pid.  Raises :class:`DaemonError` if one is already
+    running on the socket or the child dies before binding (its log lives
+    next to the socket as ``<socket>.log``).
+    """
+    path = Path(socket_path) if socket_path else default_socket_path()
+    if DaemonClient(path).is_running():
+        raise DaemonError(f"daemon already running on {path}")
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "daemon",
+        "run",
+        "--socket",
+        str(path),
+        "--workers",
+        str(workers),
+    ]
+    if cache_dir is not None:
+        argv += ["--cache-dir", str(cache_dir)]
+    env = os.environ.copy()
+    # Make the package importable in the child even when the parent runs off
+    # a PYTHONPATH the service manager would not inherit.
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src_dir
+    )
+    log_path = path.with_name(path.name + ".log")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(log_path, "ab") as log:
+        process = subprocess.Popen(
+            argv,
+            stdin=subprocess.DEVNULL,
+            stdout=log,
+            stderr=log,
+            start_new_session=True,
+            env=env,
+        )
+    client = DaemonClient(path)
+    deadline = time.time() + wait_s
+    while time.time() < deadline:
+        if process.poll() is not None:
+            raise DaemonError(
+                f"daemon exited with code {process.returncode} before binding "
+                f"{path}; see {log_path}"
+            )
+        if client.is_running():
+            return process.pid
+        time.sleep(0.05)
+    process.terminate()
+    raise DaemonError(f"daemon did not bind {path} within {wait_s:g}s; see {log_path}")
+
+
+def stop_daemon(socket_path: str | Path | None = None, wait_s: float = 10.0) -> bool:
+    """Ask the daemon on ``socket_path`` to shut down; ``False`` if none runs.
+
+    Raises :class:`DaemonError` if the daemon acknowledged the shutdown but
+    is still answering pings after ``wait_s`` -- a wedged daemon must not be
+    reported as stopped.
+    """
+    path = Path(socket_path) if socket_path else default_socket_path()
+    client = DaemonClient(path)
+    try:
+        client.shutdown()
+    except DaemonError:
+        return False
+    deadline = time.time() + wait_s
+    while time.time() < deadline:
+        if not client.is_running():
+            return True
+        time.sleep(0.05)
+    raise DaemonError(
+        f"daemon on {path} acknowledged shutdown but is still running "
+        f"after {wait_s:g}s"
+    )

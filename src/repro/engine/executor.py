@@ -1,21 +1,30 @@
-"""Serial and process-pool execution of engine jobs.
+"""Event-driven serial and process-pool execution of engine jobs.
 
-:func:`run_jobs` is the single entry point: it resolves cache hits in the
-parent process, executes the misses either inline (``workers <= 1``) or on a
-``ProcessPoolExecutor``, stores fresh results back into the cache, reports
-per-job progress/timing through an optional callback, and aggregates
-failures.  Outcomes always come back in submission order, so a parallel run
-is observationally identical to a serial one (byte-identical ``--json``
-output is an acceptance criterion).
+:func:`iter_jobs` is the execution core: a generator that schedules jobs,
+resolves cache hits in the parent process, executes the misses either inline
+(``workers <= 1``) or on a ``ProcessPoolExecutor``, stores fresh results back
+into the cache, and yields a :class:`JobEvent` for every state transition --
+``scheduled``, ``started``, ``cached``, ``finished``, ``failed`` -- the
+moment it happens, in completion order.  Streaming consumers (the CLI's
+``--stream`` mode, the daemon protocol) forward these events as they land.
+
+:func:`run_jobs` is a thin drain-the-stream wrapper that restores the
+original call-and-wait contract: outcomes come back in submission order, so
+a parallel run is observationally identical to a serial one (byte-identical
+``--json`` output is an acceptance criterion), and with ``fail_fast`` the
+first failure raises :class:`EngineError` after in-flight work drains.
+
+Both entry points accept an external ``pool`` so a long-lived process pool
+(the daemon's) can be reused across invocations without spin-up cost.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import Job
@@ -41,6 +50,73 @@ class JobOutcome:
         if not self.ok:
             status = "FAILED"
         return f"{self.job.job_id}  {status}"
+
+
+#: Event types emitted by :func:`iter_jobs` / :func:`iter_sharded`.
+SCHEDULED = "scheduled"
+STARTED = "started"
+CACHED = "cached"
+FINISHED = "finished"
+FAILED = "failed"
+
+#: Events that settle a job; exactly one is emitted per executed job.
+TERMINAL_EVENTS = frozenset({CACHED, FINISHED, FAILED})
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One state transition of one job inside an event stream.
+
+    ``index``/``total`` locate the job in its scheduling cohort (the leaf
+    list for sharded runs) and are ``None`` for merged parent jobs, which
+    complete outside any cohort.  Terminal events carry the full
+    :class:`JobOutcome`; shard coordinates come from the job itself.
+    """
+
+    type: str
+    job: Job
+    index: int | None = None
+    total: int | None = None
+    outcome: JobOutcome | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.type in TERMINAL_EVENTS
+
+    @property
+    def job_id(self) -> str:
+        return self.job.job_id
+
+    @property
+    def duration_s(self) -> float:
+        return self.outcome.duration_s if self.outcome is not None else 0.0
+
+    @property
+    def shard(self) -> tuple[int, int] | None:
+        """``(start, stop)`` coordinates for shard jobs, else ``None``."""
+        return self.job.shard_range()
+
+    def to_dict(self, *, include_value: bool = False) -> dict[str, Any]:
+        """JSON-safe event record (the ``--stream`` / daemon wire format).
+
+        With ``include_value`` a successful terminal event additionally
+        carries the job's encoded result payload.
+        """
+        shard = self.shard
+        payload: dict[str, Any] = {
+            "event": self.type,
+            "job": self.job.job_id,
+            "kind": self.job.kind,
+            "index": self.index,
+            "total": self.total,
+            "duration_s": round(self.duration_s, 6),
+            "cached": bool(self.outcome.cached) if self.outcome is not None else False,
+            "error": self.outcome.error if self.outcome is not None else None,
+            "shard": list(shard) if shard is not None else None,
+        }
+        if include_value and self.outcome is not None and self.outcome.ok:
+            payload["value"] = self.job.encode(self.outcome.value)
+        return payload
 
 
 class EngineError(RuntimeError):
@@ -70,6 +146,96 @@ def _execute(job: Job) -> tuple[Any, float]:
     return value, time.perf_counter() - start
 
 
+def iter_jobs(
+    jobs: Sequence[Job],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    fail_fast: bool = True,
+    pool: Executor | None = None,
+) -> Iterator[JobEvent]:
+    """Yield a :class:`JobEvent` per state transition, in completion order.
+
+    Every job gets a ``scheduled`` event up front (cache hits settle
+    immediately with ``cached``), a ``started`` event when it is handed to
+    execution -- inline runs emit it as the job begins; pool runs emit it at
+    submission, so a queued job later cancelled by fail-fast shows
+    ``started`` with no terminal event -- and at most one terminal
+    ``finished``/``failed`` event as it completes.  ``workers <= 1`` runs
+    inline; otherwise misses fan out across a process pool.  Passing
+    ``pool`` reuses an external executor (it is never shut down here), so a
+    warm daemon pool serves many streams.
+
+    With ``fail_fast`` (the default) the first failure cancels queued jobs --
+    cancelled jobs emit *no* terminal event -- while in-flight jobs drain to
+    completion so their results still land in the cache.  The stream simply
+    ends after the drain; raising is the caller's policy (:func:`run_jobs`).
+    """
+    jobs = list(jobs)
+    total = len(jobs)
+
+    pending: list[int] = []
+    for index, job in enumerate(jobs):
+        yield JobEvent(SCHEDULED, job, index, total)
+        value = cache.get(job) if cache is not None else None
+        if value is not None:
+            outcome = JobOutcome(job=job, value=value, cached=True)
+            yield JobEvent(CACHED, job, index, total, outcome)
+        else:
+            pending.append(index)
+    if not pending:
+        return
+
+    if pool is None and (workers <= 1 or len(pending) <= 1):
+        for index in pending:
+            job = jobs[index]
+            yield JobEvent(STARTED, job, index, total)
+            outcome = _run_one(job, cache)
+            kind = FINISHED if outcome.ok else FAILED
+            yield JobEvent(kind, job, index, total, outcome)
+            if not outcome.ok and fail_fast:
+                return
+        return
+
+    owned = pool is None
+    executor = pool if pool is not None else ProcessPoolExecutor(
+        max_workers=min(workers, len(pending))
+    )
+    try:
+        futures = {}
+        for index in pending:
+            futures[executor.submit(_execute, jobs[index])] = index
+            yield JobEvent(STARTED, jobs[index], index, total)
+        failed = False
+        while futures:
+            completed, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in completed:
+                index = futures.pop(future)
+                job = jobs[index]
+                if future.cancelled():
+                    continue
+                try:
+                    value, duration = future.result()
+                except Exception:
+                    failed = True
+                    outcome = JobOutcome(job=job, error=traceback.format_exc())
+                    yield JobEvent(FAILED, job, index, total, outcome)
+                    continue
+                if cache is not None:
+                    cache.put(job, value)
+                outcome = JobOutcome(job=job, value=value, duration_s=duration)
+                yield JobEvent(FINISHED, job, index, total, outcome)
+            if failed and fail_fast:
+                # Queued (not-yet-started) jobs are cancelled but in-flight
+                # jobs drain to completion so their results still land in the
+                # cache -- a retry after fixing the failure reuses them.
+                for future in futures:
+                    future.cancel()
+    finally:
+        if owned:
+            executor.shutdown()
+
+
 def run_jobs(
     jobs: Sequence[Job],
     *,
@@ -77,44 +243,29 @@ def run_jobs(
     cache: ResultCache | None = None,
     progress: ProgressFn | None = None,
     fail_fast: bool = True,
+    pool: Executor | None = None,
 ) -> list[JobOutcome]:
     """Execute ``jobs`` and return their outcomes in submission order.
 
-    ``workers <= 1`` runs inline; otherwise misses fan out across a process
-    pool.  With ``fail_fast`` (the default) the first failure cancels pending
-    work and raises :class:`EngineError`; otherwise failed outcomes are
-    returned alongside successful ones with ``error`` set.
+    Thin wrapper that drains :func:`iter_jobs`: terminal events are reported
+    through ``progress`` as they land and re-ordered into submission order.
+    With ``fail_fast`` (the default) failures raise :class:`EngineError`
+    after in-flight work drains; otherwise failed outcomes are returned
+    alongside successful ones with ``error`` set.
     """
     jobs = list(jobs)
     total = len(jobs)
     outcomes: list[JobOutcome | None] = [None] * total
     done = 0
-
-    def finish(index: int, outcome: JobOutcome) -> None:
-        nonlocal done
-        outcomes[index] = outcome
+    for event in iter_jobs(
+        jobs, workers=workers, cache=cache, fail_fast=fail_fast, pool=pool
+    ):
+        if not event.terminal:
+            continue
+        outcomes[event.index] = event.outcome
         done += 1
         if progress is not None:
-            progress(done, total, outcome)
-
-    # Serve cache hits up front, in the parent process.
-    pending: list[int] = []
-    for index, job in enumerate(jobs):
-        value = cache.get(job) if cache is not None else None
-        if value is not None:
-            finish(index, JobOutcome(job=job, value=value, cached=True))
-        else:
-            pending.append(index)
-
-    if workers <= 1 or len(pending) <= 1:
-        for index in pending:
-            outcome = _run_one(jobs[index], cache)
-            finish(index, outcome)
-            if not outcome.ok and fail_fast:
-                raise EngineError([outcome])
-    else:
-        _run_pool(jobs, pending, workers, cache, finish, fail_fast)
-
+            progress(done, total, event.outcome)
     failures = [outcome for outcome in outcomes if outcome is not None and not outcome.ok]
     if failures and fail_fast:
         raise EngineError(failures)
@@ -130,41 +281,3 @@ def _run_one(job: Job, cache: ResultCache | None) -> JobOutcome:
     if cache is not None:
         cache.put(job, value)
     return JobOutcome(job=job, value=value, duration_s=duration)
-
-
-def _run_pool(
-    jobs: Sequence[Job],
-    pending: Sequence[int],
-    workers: int,
-    cache: ResultCache | None,
-    finish: Callable[[int, JobOutcome], None],
-    fail_fast: bool,
-) -> None:
-    """Fan pending jobs out across a process pool.
-
-    On a fail-fast failure, queued (not-yet-started) jobs are cancelled but
-    in-flight jobs are drained to completion so their results still land in
-    the cache — a retry after fixing the failure doesn't recompute them.
-    """
-    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-        futures = {pool.submit(_execute, jobs[index]): index for index in pending}
-        failed = False
-        while futures:
-            completed, _ = wait(futures, return_when=FIRST_COMPLETED)
-            for future in completed:
-                index = futures.pop(future)
-                job = jobs[index]
-                if future.cancelled():
-                    continue
-                try:
-                    value, duration = future.result()
-                except Exception:
-                    finish(index, JobOutcome(job=job, error=traceback.format_exc()))
-                    failed = True
-                    continue
-                if cache is not None:
-                    cache.put(job, value)
-                finish(index, JobOutcome(job=job, value=value, duration_s=duration))
-            if failed and fail_fast:
-                for future in futures:
-                    future.cancel()

@@ -64,6 +64,14 @@ class Job:
         """Inverse of :meth:`encode`."""
         raise NotImplementedError
 
+    def shard_range(self) -> tuple[int, int] | None:
+        """``(start, stop)`` unit coordinates for shard jobs, else ``None``.
+
+        Event streams (:class:`repro.engine.executor.JobEvent`) surface this
+        so ``--stream`` consumers can locate a shard without parsing job ids.
+        """
+        return None
+
 
 class ShardedJob(Job):
     """A job whose work splits into independently runnable sub-jobs.
@@ -279,6 +287,9 @@ class MonteCarloShardJob(Job):
             self.variation_percent, self.temperature_c, self.start, self.stop
         )
 
+    def shard_range(self) -> tuple[int, int]:
+        return (self.start, self.stop)
+
     def encode(self, result: Any) -> dict[str, Any]:
         return {"bit_flips": int(result)}
 
@@ -451,6 +462,9 @@ class PUFPairsShardJob(Job):
 
     def run(self) -> Any:
         return _run_puf_pairs(self.batch, self.start, self.stop)
+
+    def shard_range(self) -> tuple[int, int]:
+        return (self.start, self.stop)
 
     def encode(self, result: Any) -> dict[str, Any]:
         return result

@@ -9,24 +9,41 @@ Usage::
     python -m repro.experiments --jobs 4 --shard-size 5000 --full table11
                                                  # split work *inside* each point
     python -m repro.experiments --json table2    # machine-readable output
+    python -m repro.experiments --stream table11 --shard-size 6000
+                                                 # NDJSON event per shard/experiment
     python -m repro.experiments --no-cache       # always recompute
     python -m repro.experiments --cache-max-mb 256   # LRU-trim cache after the run
     python -m repro.experiments cache-prune --max-mb 64  # trim without running
+    python -m repro.experiments daemon start     # warm daemon (pool + memory index)
+    python -m repro.experiments daemon status    # JSON status of the running daemon
+    python -m repro.experiments daemon stop
     python -m repro.experiments --list           # list experiment identifiers
 
-Execution goes through :mod:`repro.engine`: experiments run serially or on a
-process pool (``--jobs``), ``--shard-size`` additionally splits the
-shardable experiments (Table 11, Figures 5/6, aging) into sample/pair ranges
-scheduled on the same pool, and results are served from a content-addressed
-on-disk cache (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
-``./.repro-cache``) keyed by experiment config plus a fingerprint of the
-package sources -- editing any source file invalidates stale entries.
-Sharded runs cache every shard individually, so re-running with more samples
-only computes the new tail shards.
+Execution goes through :mod:`repro.engine` as an *event stream*: experiments
+run serially or on a process pool (``--jobs``), ``--shard-size``
+additionally splits the shardable experiments (Table 11, Figures 5/6,
+aging) into sample/pair ranges scheduled on the same pool, and each
+experiment's table renders the moment its last shard lands -- long sweeps
+stream rows instead of blocking on a global barrier.  ``--stream`` exposes
+the raw event stream as NDJSON lines on stdout.
+
+When a warm daemon is listening (``daemon start``; socket from
+``$REPRO_DAEMON_SOCKET`` or a per-user default) and the invocation does not
+pin a local cache (``--cache-dir``/``--no-cache``), execution is routed
+through it: the daemon's long-lived worker pool and in-memory result index
+skip pool spin-up and per-request disk reads.  Without a daemon the exact
+same events are produced inline -- output is byte-identical either way.
+
+Results are served from a content-addressed on-disk cache (``--cache-dir``,
+default ``$REPRO_CACHE_DIR`` or ``./.repro-cache``) keyed by experiment
+config plus a fingerprint of the package sources -- editing any source file
+invalidates stale entries.  Sharded runs cache every shard individually, so
+re-running with more samples only computes the new tail shards.
 
 Tables render as plain text on stdout; with ``--json`` stdout is a single
-JSON document (identical for any ``--jobs``/``--shard-size`` value) and all
-progress/cache reporting stays on stderr.
+JSON document (identical for any ``--jobs``/``--shard-size`` value and for
+daemon-vs-inline execution) and all progress/cache reporting stays on
+stderr.
 """
 
 from __future__ import annotations
@@ -36,13 +53,21 @@ import json
 import sys
 
 from repro.engine import (
-    EngineError,
+    CacheStats,
+    DaemonClient,
+    DaemonError,
+    ExperimentDaemon,
     ExperimentJob,
-    JobOutcome,
     ResultCache,
+    TERMINAL_EVENTS,
     default_cache_dir,
-    run_sharded,
+    default_socket_path,
+    iter_sharded,
+    source_fingerprint,
+    start_daemon,
+    stop_daemon,
 )
+from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import EXPERIMENTS
 
 
@@ -110,11 +135,146 @@ def build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="emit one JSON document on stdout instead of rendered tables",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="emit one NDJSON engine event per line on stdout as shards and "
+        "experiments complete (instead of rendered tables)",
+    )
+    parser.add_argument(
+        "--no-daemon",
+        action="store_true",
+        help="never route execution through a running warm daemon",
+    )
     return parser
 
 
-def _progress(done: int, total: int, outcome: JobOutcome) -> None:
-    print(f"[{done}/{total}] {outcome.describe()}", file=sys.stderr)
+class _EventRenderer:
+    """Turn a stream of engine event dicts into CLI output.
+
+    Consumes the JSON-safe event records produced by
+    :meth:`repro.engine.JobEvent.to_dict` -- the same shape whether events
+    come from an inline run or over the daemon socket -- and renders progress
+    lines on stderr, plus one of: NDJSON event lines (``--stream``), tables
+    as each experiment completes (default), or a final submission-order JSON
+    report (``--json``).
+    """
+
+    def __init__(self, selected: list[str], *, as_json: bool, stream: bool):
+        self.selected = list(selected)
+        self.as_json = as_json
+        self.stream = stream
+        self.report: dict[str, dict] = {}
+        self.failures: list[dict] = []
+        self.done = 0
+        self.rendered = 0
+
+    def feed(self, payload: dict) -> None:
+        if self.stream:
+            print(json.dumps(payload, separators=(",", ":")), flush=True)
+        if payload.get("event") not in TERMINAL_EVENTS:
+            return
+        if payload.get("total") is not None:
+            self.done += 1
+            if payload.get("error"):
+                status = "FAILED"
+            elif payload.get("cached"):
+                status = "cached"
+            else:
+                status = f"{payload.get('duration_s', 0.0):.3f}s"
+            print(
+                f"[{self.done}/{payload['total']}] {payload['job']}  {status}",
+                file=sys.stderr,
+            )
+        if payload.get("error"):
+            self.failures.append(payload)
+        if payload.get("kind") == "experiment" and "value" in payload:
+            self.report[payload["job"]] = payload["value"]
+            if not self.as_json and not self.stream:
+                if self.rendered:
+                    print()
+                print(ExperimentResult.from_dict(payload["value"]).render())
+                self.rendered += 1
+
+    def finish(self) -> int:
+        """Emit the final document / failure report; returns an exit code."""
+        if self.failures:
+            ids = ", ".join(dict.fromkeys(f["job"] for f in self.failures))
+            print(f"{len(self.failures)} job(s) failed: {ids}", file=sys.stderr)
+            for failure in self.failures:
+                print(f"--- {failure['job']} ---\n{failure['error']}", file=sys.stderr)
+            return 1
+        missing = [eid for eid in self.selected if eid not in self.report]
+        if missing:
+            print(f"missing result(s) for: {', '.join(missing)}", file=sys.stderr)
+            return 1
+        if self.as_json:
+            document = {eid: self.report[eid] for eid in self.selected}
+            print(json.dumps(document, indent=2))
+        return 0
+
+
+def _progress_stats_line(hits: int, misses: int, suffix: str = "") -> str:
+    return f"cache: {CacheStats(hits=hits, misses=misses).summary()}{suffix}"
+
+
+def _run_via_daemon(args, selected: list[str]) -> int | None:
+    """Route the run through a live daemon; ``None`` means fall back inline.
+
+    Falling back is only safe before any output, so a daemon that dies
+    mid-stream is reported as a failure instead of silently recomputing.
+    """
+    client = DaemonClient()
+    if not client.is_running():
+        return None
+    renderer = _EventRenderer(selected, as_json=args.as_json, stream=args.stream)
+    print(f"daemon: routing via {client.socket_path}", file=sys.stderr)
+    if args.jobs != 1:
+        print(
+            f"daemon: worker count is fixed by the daemon's pool; "
+            f"ignoring --jobs {args.jobs}",
+            file=sys.stderr,
+        )
+    consumed = False
+    try:
+        for frame in client.submit(
+            selected,
+            quick=not args.full,
+            shard_size=args.shard_size,
+            code_version=source_fingerprint(),
+        ):
+            kind = frame.get("type")
+            if kind == "event":
+                consumed = True
+                renderer.feed(frame["event"])
+            elif kind == "stale":
+                print(
+                    f"daemon: {frame.get('message')}; running inline",
+                    file=sys.stderr,
+                )
+                return None
+            elif kind == "done":
+                code = renderer.finish()
+                if code == 0:
+                    print(
+                        _progress_stats_line(
+                            frame.get("hits", 0),
+                            frame.get("misses", 0),
+                            f", {frame.get('memory_hits', 0)} from memory index (daemon)",
+                        ),
+                        file=sys.stderr,
+                    )
+                return code
+            elif kind == "error":
+                print(f"daemon error: {frame.get('message')}", file=sys.stderr)
+                return 1
+    except DaemonError as error:
+        if consumed:
+            print(f"daemon stream failed: {error}", file=sys.stderr)
+            return 1
+        print(f"daemon unreachable ({error}); running inline", file=sys.stderr)
+        return None
+    return 1
 
 
 def _cache_prune_main(argv: list[str]) -> int:
@@ -153,17 +313,89 @@ def _cache_prune_main(argv: list[str]) -> int:
     return 0
 
 
+def _daemon_main(argv: list[str]) -> int:
+    """``daemon`` subcommand: start/stop/status/run the warm daemon."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments daemon",
+        description="Manage the warm experiment daemon (persistent worker "
+        "pool + in-memory result index over a unix socket).",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    for action in ("start", "stop", "status", "run"):
+        sp = sub.add_parser(action)
+        sp.add_argument(
+            "--socket",
+            default=None,
+            metavar="PATH",
+            help="daemon socket (default: $REPRO_DAEMON_SOCKET or a per-user "
+            "path under the temp directory)",
+        )
+        if action in ("start", "run"):
+            sp.add_argument(
+                "--cache-dir",
+                default=None,
+                metavar="DIR",
+                help="result cache directory the daemon serves "
+                "(default: $REPRO_CACHE_DIR or ./.repro-cache)",
+            )
+            sp.add_argument(
+                "--workers",
+                type=int,
+                default=2,
+                metavar="N",
+                help="persistent worker processes (default: 2)",
+            )
+    args = parser.parse_args(argv)
+    if args.action in ("start", "run") and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        socket_path = args.socket or default_socket_path()
+        if args.action == "start":
+            pid = start_daemon(
+                socket_path, cache_dir=args.cache_dir, workers=args.workers
+            )
+            print(f"daemon started (pid {pid}, socket {socket_path})")
+            return 0
+        if args.action == "stop":
+            if stop_daemon(socket_path):
+                print(f"daemon on {socket_path} stopped")
+                return 0
+            print(f"no daemon running on {socket_path}", file=sys.stderr)
+            return 1
+        if args.action == "status":
+            client = DaemonClient(socket_path)
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        # "run": serve in the foreground (what `daemon start` spawns).
+        ExperimentDaemon(
+            socket_path, cache_dir=args.cache_dir, workers=args.workers
+        ).serve_forever()
+        return 0
+    except DaemonError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["cache-prune"]:
         return _cache_prune_main(argv[1:])
+    if argv[:1] == ["daemon"]:
+        return _daemon_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be a positive worker count", file=sys.stderr)
+        return 2
     if args.shard_size is not None and args.shard_size <= 0:
         print("--shard-size must be positive", file=sys.stderr)
         return 2
     if args.cache_max_mb is not None and args.cache_max_mb < 0:
         print("--cache-max-mb must be non-negative", file=sys.stderr)
+        return 2
+    if args.as_json and args.stream:
+        print("--json and --stream are mutually exclusive", file=sys.stderr)
         return 2
 
     if args.list_experiments:
@@ -178,6 +410,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"known experiments: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    # A live daemon owns its own cache (memory index over its disk store), so
+    # only route through it when this invocation does not pin or manage a
+    # local cache (--cache-dir/--no-cache/--cache-max-mb stay inline).
+    exit_code: int | None = None
+    if (
+        not args.no_daemon
+        and not args.no_cache
+        and args.cache_dir is None
+        and args.cache_max_mb is None
+    ):
+        try:
+            exit_code = _run_via_daemon(args, selected)
+        except DaemonError as error:
+            # e.g. a tampered default socket directory: never trust it, but
+            # the run itself can still proceed inline.
+            print(f"daemon unavailable ({error}); running inline", file=sys.stderr)
+    if exit_code is not None:
+        return exit_code
+
     cache = None
     if not args.no_cache:
         try:
@@ -187,28 +438,24 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     jobs = [ExperimentJob(experiment_id, quick=not args.full) for experiment_id in selected]
-    try:
-        outcomes = run_sharded(
-            jobs,
-            shard_size=args.shard_size,
-            workers=args.jobs,
-            cache=cache,
-            progress=_progress,
+    roots = {id(job) for job in jobs}
+    renderer = _EventRenderer(selected, as_json=args.as_json, stream=args.stream)
+    for event in iter_sharded(
+        jobs,
+        shard_size=args.shard_size,
+        workers=args.jobs,
+        cache=cache,
+    ):
+        include_value = (
+            event.terminal
+            and id(event.job) in roots
+            and event.outcome is not None
+            and event.outcome.ok
         )
-    except EngineError as error:
-        print(error.render(), file=sys.stderr)
-        return 1
-
-    if args.as_json:
-        report = {
-            outcome.job.experiment_id: outcome.value.to_dict() for outcome in outcomes
-        }
-        print(json.dumps(report, indent=2))
-    else:
-        for index, outcome in enumerate(outcomes):
-            if index:
-                print()
-            print(outcome.value.render())
+        renderer.feed(event.to_dict(include_value=include_value))
+    code = renderer.finish()
+    if code:
+        return code
 
     if cache is not None:
         print(f"cache: {cache.stats.summary()}", file=sys.stderr)

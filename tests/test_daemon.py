@@ -1,0 +1,329 @@
+"""Tests for the warm experiment daemon (protocol, memory index, server).
+
+The daemon under test runs ``serve_forever`` on a background thread inside
+this process (real unix socket, real worker pool); one end-to-end test also
+exercises the detached-subprocess ``daemon start``/``status``/``stop`` CLI
+path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    DaemonClient,
+    DaemonError,
+    ExperimentDaemon,
+    ExperimentJob,
+    MemoryIndexCache,
+    ResultCache,
+    default_socket_path,
+)
+from repro.engine.daemon import recv_frame, send_frame
+from repro.experiments.__main__ import main
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="daemon mode requires AF_UNIX"
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        left, right = socket.socketpair()
+        with left, right, left.makefile("rwb") as wfile, right.makefile("rwb") as rfile:
+            send_frame(wfile, {"op": "ping", "x": 1})
+            assert recv_frame(rfile) == {"op": "ping", "x": 1}
+
+    def test_eof_is_none(self):
+        assert recv_frame(io.BytesIO(b"")) is None
+
+    def test_garbage_header_raises(self):
+        with pytest.raises(DaemonError, match="length header"):
+            recv_frame(io.BytesIO(b"zzz\n{}\n"))
+
+    def test_truncated_frame_raises(self):
+        with pytest.raises(DaemonError, match="truncated"):
+            recv_frame(io.BytesIO(b"100\n{\"op\":"))
+
+    def test_non_object_frame_raises(self):
+        payload = b"[1,2]\n"
+        with pytest.raises(DaemonError, match="JSON object"):
+            recv_frame(io.BytesIO(f"{len(payload)}\n".encode() + payload))
+
+
+class TestDefaultSocketPath:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(tmp_path / "x.sock"))
+        assert default_socket_path() == tmp_path / "x.sock"
+
+    def test_xdg_runtime_dir_is_preferred(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_DAEMON_SOCKET", raising=False)
+        monkeypatch.setenv("XDG_RUNTIME_DIR", str(tmp_path))
+        assert default_socket_path() == tmp_path / "repro-daemon.sock"
+
+    def test_fallback_dir_is_private(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_DAEMON_SOCKET", raising=False)
+        monkeypatch.delenv("XDG_RUNTIME_DIR", raising=False)
+        monkeypatch.setattr(tempfile, "gettempdir", lambda: str(tmp_path))
+        path = default_socket_path()
+        assert path.parent.parent == tmp_path
+        assert path.parent.stat().st_mode & 0o777 == 0o700
+
+    def test_tampered_fallback_dir_is_refused(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_DAEMON_SOCKET", raising=False)
+        monkeypatch.delenv("XDG_RUNTIME_DIR", raising=False)
+        monkeypatch.setattr(tempfile, "gettempdir", lambda: str(tmp_path))
+        squatted = default_socket_path().parent
+        squatted.chmod(0o777)  # world-writable: another user could bind here
+        with pytest.raises(DaemonError, match="not exclusively owned"):
+            default_socket_path()
+
+
+class TestMemoryIndexCache:
+    def test_put_serves_later_gets_from_memory(self, tmp_path):
+        cache = MemoryIndexCache(ResultCache(tmp_path))
+        job = ExperimentJob("table1")
+        value = job.run()
+        cache.put(job, value)
+        assert cache.get(job) == value
+        assert cache.memory_hits == 1
+        assert cache.disk_hits == 0
+        assert cache.stats.hits == 1  # memory hits count in the shared stats
+
+    def test_disk_fallback_populates_index(self, tmp_path):
+        disk = ResultCache(tmp_path)
+        job = ExperimentJob("table1")
+        disk.put(job, job.run())
+        warm = MemoryIndexCache(ResultCache(tmp_path))
+        assert warm.get(job) is not None
+        assert warm.disk_hits == 1
+        assert warm.memory_hits == 0
+        assert warm.get(job) is not None
+        assert warm.memory_hits == 1
+        assert len(warm) == 1
+
+    def test_miss_touches_nothing(self, tmp_path):
+        cache = MemoryIndexCache(ResultCache(tmp_path))
+        assert cache.get(ExperimentJob("table1")) is None
+        assert cache.memory_hits == 0
+        assert len(cache) == 0
+
+    def test_index_is_bounded_lru(self, tmp_path):
+        from repro.engine import MonteCarloShardJob
+
+        cache = MemoryIndexCache(ResultCache(tmp_path), max_entries=2)
+        jobs = [MonteCarloShardJob(4.0, 30.0, 0, 10, seed=seed) for seed in range(3)]
+        for flips, job in enumerate(jobs):
+            cache.put(job, flips)
+        assert len(cache) == 2  # oldest entry evicted from memory...
+        assert cache.get(jobs[0]) == 0  # ... but still served from disk
+        assert cache.disk_hits == 1
+        # The hit re-promoted jobs[0]; jobs[1] is now the LRU tail.
+        cache.put(jobs[2], 2)
+        assert cache.get(jobs[0]) == 0
+        assert cache.memory_hits == 1
+
+    def test_rejects_non_positive_bound(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            MemoryIndexCache(ResultCache(tmp_path), max_entries=0)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live in-process daemon on a private socket; yields its client."""
+    socket_path = tmp_path / "d.sock"
+    server = ExperimentDaemon(socket_path, cache_dir=tmp_path / "cache", workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = DaemonClient(socket_path)
+    deadline = time.time() + 30.0
+    while not client.is_running():
+        assert time.time() < deadline, "daemon did not come up"
+        time.sleep(0.02)
+    yield client
+    try:
+        client.shutdown()
+    except DaemonError:
+        pass
+    thread.join(timeout=10.0)
+
+
+class TestDaemonServer:
+    def test_ping_and_status(self, daemon):
+        assert daemon.ping()["type"] == "pong"
+        status = daemon.status()
+        assert status["type"] == "status"
+        assert status["workers"] == 2
+        assert status["index_entries"] == 0
+
+    def test_submit_streams_events_then_done(self, daemon):
+        frames = list(daemon.submit(["table1"]))
+        assert frames[-1]["type"] == "done"
+        events = [frame["event"] for frame in frames if frame["type"] == "event"]
+        assert [event["event"] for event in events] == [
+            "scheduled", "started", "finished",
+        ]
+        assert events[-1]["value"]["experiment_id"] == "table1"
+
+    def test_warm_rerun_served_from_memory_index(self, daemon):
+        cold = list(daemon.submit(["table2"]))
+        assert cold[-1]["memory_hits"] == 0
+        warm = list(daemon.submit(["table2"]))
+        assert warm[-1]["type"] == "done"
+        assert warm[-1]["memory_hits"] == 1
+        assert warm[-1]["hits"] == 1
+        terminal = [
+            frame["event"] for frame in warm[:-1] if frame["event"]["event"] == "cached"
+        ]
+        assert len(terminal) == 1
+        # Same payload either way.
+        cold_value = cold[-2]["event"]["value"]
+        assert terminal[0]["value"] == cold_value
+        status = daemon.status()
+        assert status["memory_hits"] == 1
+        assert status["index_entries"] >= 1
+
+    def test_submit_unknown_experiment_errors(self, daemon):
+        frames = list(daemon.submit(["nope"]))
+        assert frames[-1]["type"] == "error"
+        assert "unknown experiment" in frames[-1]["message"]
+
+    def test_submit_bad_shard_size_errors(self, daemon):
+        frames = list(daemon.submit(["table1"], shard_size=0))
+        assert frames[-1]["type"] == "error"
+
+    def test_submit_with_stale_code_version_is_refused(self, daemon):
+        frames = list(daemon.submit(["table1"], code_version="not-the-daemon's"))
+        assert [frame["type"] for frame in frames] == ["stale"]
+        assert "restart" in frames[0]["message"]
+
+    def test_submit_with_matching_code_version_runs(self, daemon):
+        from repro.engine import source_fingerprint
+
+        frames = list(
+            daemon.submit(["table1"], code_version=source_fingerprint())
+        )
+        assert frames[-1]["type"] == "done"
+
+    def test_cli_falls_back_inline_when_daemon_is_stale(
+        self, daemon, tmp_path, capsys, monkeypatch
+    ):
+        import repro.experiments.__main__ as cli
+
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "inline-cache"))
+        monkeypatch.setattr(cli, "source_fingerprint", lambda: "edited-sources")
+        assert cli.main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "table1:" in captured.out  # ran inline, still produced the table
+        assert "running inline" in captured.err
+
+    def test_cli_routes_through_daemon_byte_identically(
+        self, daemon, tmp_path, capsys, monkeypatch
+    ):
+        inline_dir = tmp_path / "inline-cache"
+        assert main(["table2", "--json", "--no-daemon", "--cache-dir", str(inline_dir)]) == 0
+        inline_out = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        assert main(["table2", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == inline_out
+        assert "daemon: routing via" in captured.err
+        # Warm daemon rerun: identical again, served from the memory index.
+        assert main(["table2", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == inline_out
+        assert "from memory index" in captured.err
+
+    def test_cli_stream_through_daemon(self, daemon, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        assert main(["table1", "--stream"]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert events[-1]["value"]["experiment_id"] == "table1"
+
+    def test_explicit_cache_dir_bypasses_daemon(
+        self, daemon, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        assert main(["table1", "--cache-dir", str(tmp_path / "local")]) == 0
+        assert "daemon:" not in capsys.readouterr().err
+
+    def test_cache_max_mb_bypasses_daemon(self, daemon, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "local"))
+        assert main(["table1", "--cache-max-mb", "100"]) == 0
+        err = capsys.readouterr().err
+        assert "daemon:" not in err
+        assert "pruned" in err
+
+    def test_ignored_jobs_flag_is_reported(self, daemon, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        assert main(["table1", "--jobs", "8"]) == 0
+        assert "ignoring --jobs 8" in capsys.readouterr().err
+
+    def test_shutdown_removes_socket(self, tmp_path):
+        socket_path = tmp_path / "gone.sock"
+        server = ExperimentDaemon(socket_path, cache_dir=tmp_path / "c", workers=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = DaemonClient(socket_path)
+        deadline = time.time() + 30.0
+        while not client.is_running():
+            assert time.time() < deadline
+            time.sleep(0.02)
+        client.shutdown()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert not socket_path.exists()
+
+
+class TestGracefulDegradation:
+    def test_cli_runs_inline_when_no_daemon_listens(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(tmp_path / "nothing.sock"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "table1:" in captured.out
+        assert "routing via" not in captured.err
+
+    def test_is_running_false_for_stale_socket_file(self, tmp_path):
+        stale = tmp_path / "stale.sock"
+        stale.touch()
+        assert not DaemonClient(stale).is_running()
+
+
+class TestDaemonCLISubprocess:
+    """End-to-end detached daemon lifecycle through the CLI."""
+
+    def test_start_status_stop(self, tmp_path, capsys):
+        socket_path = tmp_path / "cli.sock"
+        argv = ["daemon", "start", "--socket", str(socket_path),
+                "--cache-dir", str(tmp_path / "cache"), "--workers", "1"]
+        assert main(argv) == 0
+        assert "daemon started" in capsys.readouterr().out
+        try:
+            # Starting twice is refused.
+            assert main(argv) == 1
+            assert "already running" in capsys.readouterr().err
+            assert main(["daemon", "status", "--socket", str(socket_path)]) == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status["workers"] == 1
+        finally:
+            assert main(["daemon", "stop", "--socket", str(socket_path)]) == 0
+            capsys.readouterr()
+        assert main(["daemon", "status", "--socket", str(socket_path)]) == 1
+        assert main(["daemon", "stop", "--socket", str(socket_path)]) == 1
+
+    def test_workers_validation(self, capsys):
+        assert main(["daemon", "start", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err

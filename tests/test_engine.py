@@ -107,20 +107,39 @@ class TestResultCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
-    def test_corrupt_blob_is_a_miss(self, tmp_path):
+    def test_corrupt_blob_is_a_miss_and_is_evicted(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = ExperimentJob("table1")
         cache.put(job, job.run())
         cache.path_for(job).write_text("{not json")
         assert cache.get(job) is None
+        assert not cache.path_for(job).exists()
+        assert len(cache) == 0
 
-    def test_undecodable_payload_is_a_miss(self, tmp_path):
+    def test_truncated_blob_is_a_miss_and_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = ExperimentJob("table1")
+        path = cache.put(job, job.run())
+        path.write_text(path.read_text()[: path.stat().st_size // 2])  # torn write
+        assert cache.get(job) is None
+        assert not path.exists()
+        # A fresh put repopulates the slot cleanly.
+        cache.put(job, job.run())
+        assert cache.get(job) is not None
+
+    def test_undecodable_payload_is_a_miss_and_is_evicted(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = ExperimentJob("table1")
         cache.put(job, job.run())
         cache.path_for(job).write_text(json.dumps({"payload": {}}))
         assert cache.get(job) is None
         assert cache.stats.hits == 0
+        assert not cache.path_for(job).exists()
+
+    def test_absent_blob_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(ExperimentJob("table1")) is None
+        assert cache.stats.misses == 1
 
 
 class TestExecutor:

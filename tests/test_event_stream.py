@@ -1,0 +1,311 @@
+"""Tests for the event-driven execution core.
+
+Covers the :class:`~repro.engine.JobEvent` stream contract
+(``scheduled``/``started``/``cached``/``finished``/``failed``, wire format,
+shard coordinates), completion-order emission with incremental parent merges
+in :func:`~repro.engine.iter_sharded` plus its ``ordered=True`` gate, the
+fail-fast pool-drain guarantees (in-flight work lands in the cache, cancelled
+work leaves no orphan outcomes), and the CLI's ``--stream``/``--jobs``
+surface.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.circuit.montecarlo import MC_SAMPLE_BLOCK
+from repro.engine import (
+    CACHED,
+    FAILED,
+    FINISHED,
+    SCHEDULED,
+    STARTED,
+    EngineError,
+    ExperimentJob,
+    Job,
+    JobEvent,
+    JobOutcome,
+    MonteCarloPointJob,
+    MonteCarloShardJob,
+    ResultCache,
+    iter_jobs,
+    iter_sharded,
+    run_jobs,
+    run_sharded,
+)
+from repro.experiments.__main__ import main
+
+
+@dataclass(frozen=True)
+class SleepJob(Job):
+    """Picklable job that sleeps then returns its name (cacheable)."""
+
+    name: str
+    sleep_s: float = 0.0
+
+    kind = "sleep"
+
+    @property
+    def job_id(self) -> str:
+        return self.name
+
+    @property
+    def config(self) -> dict:
+        return {"name": self.name, "sleep_s": self.sleep_s}
+
+    def run(self) -> str:
+        time.sleep(self.sleep_s)
+        return self.name
+
+    def encode(self, result: str) -> dict:
+        return {"name": result}
+
+    def decode(self, payload: dict) -> str:
+        return payload["name"]
+
+
+@dataclass(frozen=True)
+class SlowFailJob(Job):
+    """Picklable job that sleeps briefly, then raises."""
+
+    name: str = "bang"
+    sleep_s: float = 0.02
+
+    kind = "slow-fail"
+
+    @property
+    def job_id(self) -> str:
+        return self.name
+
+    @property
+    def config(self) -> dict:
+        return {"name": self.name, "sleep_s": self.sleep_s}
+
+    def run(self) -> None:
+        time.sleep(self.sleep_s)
+        raise RuntimeError(f"{self.name} exploded")
+
+
+class TestIterJobs:
+    def test_event_sequence_for_one_job(self):
+        events = list(iter_jobs([ExperimentJob("table1")]))
+        assert [event.type for event in events] == [SCHEDULED, STARTED, FINISHED]
+        assert all(event.job.job_id == "table1" for event in events)
+        assert events[-1].terminal
+        assert events[-1].outcome.ok
+        assert events[-1].outcome.value.experiment_id == "table1"
+        assert events[-1].index == 0
+        assert events[-1].total == 1
+
+    def test_cache_hit_settles_with_cached_event(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = ExperimentJob("table1")
+        list(iter_jobs([job], cache=cache))
+        events = list(iter_jobs([job], cache=ResultCache(tmp_path)))
+        assert [event.type for event in events] == [SCHEDULED, CACHED]
+        assert events[-1].outcome.cached
+
+    def test_parallel_events_arrive_in_completion_order(self):
+        slow = SleepJob("slow", 0.4)
+        fast = SleepJob("fast", 0.0)
+        events = list(iter_jobs([slow, fast], workers=2))
+        terminal = [event.job.job_id for event in events if event.terminal]
+        assert terminal == ["fast", "slow"]
+        # ... while run_jobs restores submission order.
+        outcomes = run_jobs([slow, fast], workers=2)
+        assert [outcome.job.job_id for outcome in outcomes] == ["slow", "fast"]
+
+    def test_failed_event_carries_traceback(self):
+        events = list(iter_jobs([SlowFailJob(sleep_s=0.0)], fail_fast=False))
+        assert events[-1].type == FAILED
+        assert "exploded" in events[-1].outcome.error
+
+    def test_event_to_dict_is_json_safe(self):
+        job = MonteCarloShardJob(4.0, 30.0, 0, 2_000)
+        outcome = JobOutcome(job=job, value=3, duration_s=0.5)
+        payload = JobEvent(FINISHED, job, 2, 7, outcome).to_dict(include_value=True)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["event"] == "finished"
+        assert payload["kind"] == "montecarlo-shard"
+        assert payload["shard"] == [0, 2000]
+        assert payload["index"] == 2
+        assert payload["total"] == 7
+        assert payload["value"] == {"bit_flips": 3}
+
+    def test_non_shard_jobs_have_no_shard_coordinates(self):
+        event = JobEvent(SCHEDULED, ExperimentJob("table1"), 0, 1)
+        assert event.shard is None
+        assert event.to_dict()["shard"] is None
+
+
+class TestFailFastPoolDrain:
+    """Fail-fast semantics on the pool: drain in-flight, cancel queued."""
+
+    def test_in_flight_drains_to_cache_and_cancelled_leave_no_outcomes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fail = SlowFailJob(sleep_s=0.05)
+        in_flight = SleepJob("inflight", 0.6)
+        queued = [SleepJob(f"queued{i}", 0.01) for i in range(6)]
+        jobs = [fail, in_flight, *queued]
+        events = list(iter_jobs(jobs, workers=2, cache=cache, fail_fast=True))
+        terminal = {event.job.job_id: event for event in events if event.terminal}
+        assert terminal["bang"].type == FAILED
+        # The in-flight sibling was NOT killed: it drained and was cached.
+        assert terminal["inflight"].type == FINISHED
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(in_flight) == "inflight"
+        # At least the tail of the queue was cancelled, and every cancelled
+        # job produced neither a terminal event nor a cache entry.
+        cancelled = [job for job in queued if job.job_id not in terminal]
+        assert cancelled
+        for job in cancelled:
+            assert ResultCache(tmp_path).get(job) is None
+
+    def test_run_jobs_raises_after_drain(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fail = SlowFailJob(sleep_s=0.05)
+        in_flight = SleepJob("inflight", 0.4)
+        with pytest.raises(EngineError) as excinfo:
+            run_jobs([fail, in_flight, SleepJob("tail", 0.3)], workers=2, cache=cache)
+        assert "bang" in str(excinfo.value)
+        assert ResultCache(tmp_path).get(in_flight) == "inflight"
+
+    def test_sharded_drain_caches_shards_but_never_merges_parent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fail = SlowFailJob(sleep_s=0.02)
+        # Enough shards that the queued tail is guaranteed to be cancelled
+        # long before it could complete the parent.
+        point = MonteCarloPointJob(4.0, 30.0, samples=64 * MC_SAMPLE_BLOCK)
+        with pytest.raises(EngineError):
+            run_sharded(
+                [fail, point], shard_size=MC_SAMPLE_BLOCK, workers=2, cache=cache
+            )
+        fresh = ResultCache(tmp_path)
+        # The first shard was in flight alongside the failure: it drained
+        # into the cache...
+        first_shard = MonteCarloShardJob(4.0, 30.0, 0, MC_SAMPLE_BLOCK)
+        assert fresh.get(first_shard) is not None
+        # ... but the parent never saw all its shards, so no orphan merged
+        # outcome was fabricated or cached.
+        assert ResultCache(tmp_path).get(point) is None
+
+
+class TestIterSharded:
+    def test_parent_merges_the_moment_last_shard_lands(self):
+        point = MonteCarloPointJob(4.0, 30.0, samples=2 * MC_SAMPLE_BLOCK)
+        events = list(iter_sharded([point], shard_size=MC_SAMPLE_BLOCK))
+        terminal_ids = [event.job.job_id for event in events if event.terminal]
+        # Both leaf shards settle, then the parent's merged event follows.
+        assert terminal_ids[-1] == point.job_id
+        assert len(terminal_ids) == 3
+        merged = [event for event in events if event.job is point and event.terminal]
+        assert merged[0].outcome.value == point.run()
+        assert merged[0].index is None  # parents complete outside the leaf cohort
+
+    def test_cached_sibling_settles_before_computing_sibling(self, tmp_path):
+        heavy = MonteCarloPointJob(4.0, 30.0, samples=2 * MC_SAMPLE_BLOCK)
+        light = MonteCarloPointJob(3.0, 30.0, samples=2 * MC_SAMPLE_BLOCK)
+        run_sharded([light], shard_size=MC_SAMPLE_BLOCK, cache=ResultCache(tmp_path))
+        events = list(
+            iter_sharded(
+                [heavy, light], shard_size=MC_SAMPLE_BLOCK, cache=ResultCache(tmp_path)
+            )
+        )
+        roots = [
+            event.job for event in events if event.terminal and event.job in (heavy, light)
+        ]
+        # Completion order: the cached job settles during expansion, long
+        # before the computing sibling submitted ahead of it.
+        assert roots == [light, heavy]
+
+    def test_ordered_gate_restores_submission_order(self, tmp_path):
+        heavy = MonteCarloPointJob(4.0, 30.0, samples=2 * MC_SAMPLE_BLOCK)
+        light = MonteCarloPointJob(3.0, 30.0, samples=2 * MC_SAMPLE_BLOCK)
+        run_sharded([light], shard_size=MC_SAMPLE_BLOCK, cache=ResultCache(tmp_path))
+        events = list(
+            iter_sharded(
+                [heavy, light],
+                shard_size=MC_SAMPLE_BLOCK,
+                cache=ResultCache(tmp_path),
+                ordered=True,
+            )
+        )
+        roots = [
+            event.job for event in events if event.terminal and event.job in (heavy, light)
+        ]
+        assert roots == [heavy, light]
+
+    def test_ordered_matches_unordered_outcomes(self, tmp_path):
+        jobs = [ExperimentJob("table1"), ExperimentJob("table2")]
+        plain = run_sharded(jobs, shard_size=10)
+        gated = run_sharded(
+            [ExperimentJob("table1"), ExperimentJob("table2")],
+            shard_size=10,
+            ordered=True,
+        )
+        for left, right in zip(plain, gated):
+            assert left.value.to_dict() == right.value.to_dict()
+
+    def test_fully_cached_tree_settles_without_running_leaves(self, tmp_path):
+        point = MonteCarloPointJob(4.0, 30.0, samples=2 * MC_SAMPLE_BLOCK)
+        run_sharded([point], shard_size=MC_SAMPLE_BLOCK, cache=ResultCache(tmp_path))
+        warm = ResultCache(tmp_path)
+        events = list(iter_sharded([point], shard_size=MC_SAMPLE_BLOCK, cache=warm))
+        assert [event.type for event in events] == [CACHED]
+        assert warm.stats.hits == 1
+        assert warm.stats.misses == 0
+
+
+class TestStreamCLI:
+    def test_stream_emits_parseable_ndjson(self, tmp_path, capsys):
+        assert main(["table1", "--stream", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert {event["event"] for event in events} == {
+            "scheduled", "started", "finished",
+        }
+        final = events[-1]
+        assert final["kind"] == "experiment"
+        assert final["value"]["experiment_id"] == "table1"
+
+    def test_stream_includes_shard_events(self, tmp_path, capsys):
+        assert main(
+            ["table11", "--stream", "--shard-size", "6000", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines() if line.strip()]
+        shard_events = [
+            event for event in events
+            if event["event"] == "finished" and event["shard"] is not None
+        ]
+        assert shard_events
+        assert all(
+            event["shard"][0] < event["shard"][1] for event in shard_events
+        )
+        roots = [event for event in events if "value" in event]
+        assert [event["job"] for event in roots] == ["table11"]
+
+    def test_stream_and_json_are_mutually_exclusive(self, capsys):
+        assert main(["table1", "--stream", "--json"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert main(["table1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["table1", "--jobs", "-3"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_tables_render_per_experiment_in_completion_order(self, tmp_path, capsys):
+        # Warm table2 only: it renders first even though table1 is submitted
+        # first -- tables stream as experiments complete.
+        assert main(["table2", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["table1", "table2", "--shard-size", "10", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.index("table2:") < out.index("table1:")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render the committed pairs/sec trajectory as a text table.
+"""Render the committed pairs/sec trajectory as a text table or sparklines.
 
 Reads ``BENCH_pair_kernels.json`` at the repository root (or ``--file``) and
 prints one row per (entry, kernel-configuration) so the throughput trend
@@ -7,6 +7,15 @@ across commits is visible at a glance::
 
     $ python benchmarks/summarize_trajectory.py
     pairs/sec trajectory -- fig5-quality (unit: pairs_per_second)
+    ...
+
+``--sparkline`` condenses the same data into one unicode block sparkline per
+(configuration, PUF) series -- one character per trajectory entry, oldest to
+newest, scaled to the series' own min/max::
+
+    $ python benchmarks/summarize_trajectory.py --sparkline
+    pairs/sec sparklines -- fig5-quality (one block per entry, oldest -> newest)
+    config   PUF            first   last  trend
     ...
 
 Pure stdlib on purpose: runs anywhere (CI steps, fresh checkouts) without
@@ -21,6 +30,65 @@ import sys
 from pathlib import Path
 
 DEFAULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_pair_kernels.json"
+
+#: Eight-level unicode block ramp used by the sparkline mode.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Placeholder for entries where a series has no recorded value.
+SPARK_GAP = "·"
+
+
+def sparkline(values: "list[float | None]") -> str:
+    """Unicode block sparkline of one series (``None`` renders as a gap).
+
+    Values are scaled to the series' own min/max; a flat (or single-point)
+    series renders as mid-level blocks so it reads as "present, unchanged".
+    """
+    present = [value for value in values if value is not None]
+    if not present:
+        return SPARK_GAP * len(values)
+    low, high = min(present), max(present)
+    span = high - low
+    blocks = []
+    for value in values:
+        if value is None:
+            blocks.append(SPARK_GAP)
+        elif span == 0:
+            blocks.append(SPARK_BLOCKS[len(SPARK_BLOCKS) // 2])
+        else:
+            level = round((value - low) / span * (len(SPARK_BLOCKS) - 1))
+            blocks.append(SPARK_BLOCKS[level])
+    return "".join(blocks)
+
+
+def sparkline_rows(data: dict) -> tuple[list[str], list[list[str]]]:
+    """One sparkline row per (configuration, PUF) series across entries.
+
+    Series appear in first-appearance order; entries missing a series (e.g.
+    a configuration recorded only from one commit on) contribute a gap
+    character, so every sparkline has one block per trajectory entry.
+    """
+    entries = data.get("entries", [])
+    series: dict[tuple[str, str], list[float | None]] = {}
+    for position, entry in enumerate(entries):
+        for config, rates in entry.get("pairs_per_second", {}).items():
+            for puf, rate in rates.items():
+                values = series.setdefault((config, puf), [None] * len(entries))
+                values[position] = rate
+    headers = ["config", "PUF", "first", "last", "trend"]
+    rows = []
+    for (config, puf), values in series.items():
+        present = [value for value in values if value is not None]
+        rows.append(
+            [
+                config,
+                puf,
+                f"{present[0]:.1f}",
+                f"{present[-1]:.1f}",
+                sparkline(values),
+            ]
+        )
+    return headers, rows
 
 
 def trajectory_rows(data: dict) -> tuple[list[str], list[list[str]]]:
@@ -54,7 +122,9 @@ def trajectory_rows(data: dict) -> tuple[list[str], list[list[str]]]:
     return headers, rows
 
 
-def render_table(headers: list[str], rows: list[list[str]]) -> str:
+def render_table(
+    headers: list[str], rows: list[list[str]], label_columns: int = 4
+) -> str:
     """Plain-text table with column-width alignment (labels left, rates right)."""
     widths = [
         max(len(headers[column]), *(len(row[column]) for row in rows))
@@ -66,7 +136,7 @@ def render_table(headers: list[str], rows: list[list[str]]) -> str:
     def format_row(cells: list[str]) -> str:
         formatted = []
         for column, cell in enumerate(cells):
-            if column < 4:  # label columns
+            if column < label_columns:
                 formatted.append(cell.ljust(widths[column]))
             else:  # rate columns
                 formatted.append(cell.rjust(widths[column]))
@@ -87,6 +157,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="trajectory JSON (default: BENCH_pair_kernels.json at the repo root)",
     )
+    parser.add_argument(
+        "--sparkline",
+        action="store_true",
+        help="render one unicode block sparkline per (config, PUF) series "
+        "instead of the full table",
+    )
     args = parser.parse_args(argv)
     try:
         data = json.loads(args.file.read_text())
@@ -94,15 +170,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"cannot read trajectory file {args.file}: {error}", file=sys.stderr)
         return 1
     workload = data.get("workload", {})
-    print(
-        f"pairs/sec trajectory -- {workload.get('experiment', '?')} "
-        f"(unit: {data.get('unit', '?')})"
-    )
-    headers, rows = trajectory_rows(data)
+    if args.sparkline:
+        print(
+            f"pairs/sec sparklines -- {workload.get('experiment', '?')} "
+            "(one block per entry, oldest -> newest)"
+        )
+        headers, rows = sparkline_rows(data)
+    else:
+        print(
+            f"pairs/sec trajectory -- {workload.get('experiment', '?')} "
+            f"(unit: {data.get('unit', '?')})"
+        )
+        headers, rows = trajectory_rows(data)
     if not rows:
         print("no entries recorded yet")
         return 0
-    print(render_table(headers, rows))
+    print(render_table(headers, rows, label_columns=2 if args.sparkline else 4))
     return 0
 
 

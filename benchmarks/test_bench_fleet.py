@@ -1,0 +1,132 @@
+"""Benchmark: fleet authentication throughput and daemon-warm fleet requests.
+
+Two measurements of the fleet subsystem:
+
+* **auths/sec** -- a 10,000-device fleet replays a mixed genuine/impostor
+  traffic stream (per-request StreamTree streams, lazy golden enrollment)
+  per PUF class; the throughput quantifies the cost of one authentication
+  (golden enrollment amortized across repeat challenges) on the small fleet
+  device geometry;
+* **cold vs. daemon-warm** -- the ``fleet-roc`` experiment submitted twice
+  to a real detached daemon: the first submit pays the full traffic replay,
+  the warm re-submit is served from the daemon's in-memory result index and
+  must come back in well under 0.2 s.
+
+Each run writes a ``bench-fleet.json`` record at the repository root
+(uploaded as a CI artifact; gitignored).  ``REPRO_BENCH_SMOKE=1`` shrinks
+the request counts so CI can run the whole harness quickly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import DaemonClient, FleetTrafficJob, start_daemon, stop_daemon
+from repro.fleet.devices import FLEET_PUF_FACTORIES
+
+#: Fleet size of the throughput benchmark (the ISSUE's >= 10k-device floor).
+FLEET_DEVICES = 10_000
+
+#: Acceptance bound for a warm (memory-index) daemon request.
+WARM_REQUEST_BUDGET_S = 0.2
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+
+def _requests() -> int:
+    return 60 if _smoke() else 300
+
+
+def _traffic_job(puf_name: str) -> FleetTrafficJob:
+    return FleetTrafficJob(
+        fleet_seed=4242,
+        devices=FLEET_DEVICES,
+        puf=puf_name,
+        requests=_requests(),
+        challenges_per_device=2,
+        impostor_ratio=0.25,
+        temperature_jitter_c=5.0,
+    )
+
+
+def _auth_rates() -> dict[str, float]:
+    requests = _requests()
+    rates = {}
+    for puf_name in FLEET_PUF_FACTORIES:
+        job = _traffic_job(puf_name)
+        start = time.perf_counter()
+        value = job.run()
+        elapsed = time.perf_counter() - start
+        assert len(value["genuine"]) + len(value["impostor"]) == requests
+        rates[puf_name] = requests / elapsed
+    return rates
+
+
+#: Measurements shared with the artifact writer (one sweep per session).
+_MEASURED: dict[str, object] = {}
+
+
+def test_bench_fleet_auth_throughput(run_once, benchmark):
+    rates = run_once(_auth_rates)
+    assert set(rates) == set(FLEET_PUF_FACTORIES)
+    _MEASURED["auths_per_second"] = {k: round(v, 1) for k, v in rates.items()}
+    benchmark.extra_info["devices"] = FLEET_DEVICES
+    benchmark.extra_info["auths_per_second"] = _MEASURED["auths_per_second"]
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="daemon mode requires AF_UNIX"
+)
+def test_bench_fleet_daemon_warm(run_once, benchmark, tmp_path):
+    socket_path = tmp_path / "bench-fleet.sock"
+    start_daemon(socket_path, cache_dir=tmp_path / "cache", workers=2)
+    try:
+        client = DaemonClient(socket_path)
+
+        start = time.perf_counter()
+        cold = list(client.submit(["fleet-roc"]))
+        cold_s = time.perf_counter() - start
+        assert cold[-1]["type"] == "done"
+        assert cold[-1]["memory_hits"] == 0
+
+        start = time.perf_counter()
+        warm = list(client.submit(["fleet-roc"]))
+        warm_s = time.perf_counter() - start
+        assert warm[-1]["type"] == "done"
+        assert warm[-1]["memory_hits"] == 1
+        assert warm_s < cold_s
+        assert warm_s < WARM_REQUEST_BUDGET_S
+
+        frames = run_once(lambda: list(client.submit(["fleet-roc"])))
+        assert frames[-1]["memory_hits"] == 1
+        _MEASURED["cold_request_s"] = round(cold_s, 4)
+        _MEASURED["warm_request_s"] = round(warm_s, 4)
+        benchmark.extra_info["cold_request_s"] = round(cold_s, 4)
+        benchmark.extra_info["warm_request_s"] = round(warm_s, 4)
+    finally:
+        stop_daemon(socket_path)
+
+
+def test_bench_fleet_artifact():
+    """Write the fleet benchmark record (re-measuring if run standalone)."""
+    entry = {
+        "label": "ci" if _smoke() else "local",
+        "smoke": _smoke(),
+        "devices": FLEET_DEVICES,
+        "requests": _requests(),
+        "auths_per_second": _MEASURED.get("auths_per_second")
+        or {k: round(v, 1) for k, v in _auth_rates().items()},
+    }
+    for key in ("cold_request_s", "warm_request_s"):
+        if key in _MEASURED:
+            entry[key] = _MEASURED[key]
+    artifact = Path(__file__).resolve().parent.parent / "bench-fleet.json"
+    artifact.write_text(json.dumps(entry, indent=2) + "\n")

@@ -55,6 +55,10 @@ from repro.engine.executor import (
 )
 from repro.engine.jobs import (
     ExperimentJob,
+    FleetEnrollJob,
+    FleetEnrollShardJob,
+    FleetTrafficJob,
+    FleetTrafficShardJob,
     Job,
     MonteCarloPointJob,
     MonteCarloShardJob,
@@ -85,6 +89,10 @@ __all__ = [
     "EngineError",
     "ExperimentDaemon",
     "ExperimentJob",
+    "FleetEnrollJob",
+    "FleetEnrollShardJob",
+    "FleetTrafficJob",
+    "FleetTrafficShardJob",
     "Job",
     "JobEvent",
     "JobOutcome",

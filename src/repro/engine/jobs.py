@@ -11,7 +11,12 @@ the same result.  The job kinds covering the repository today:
 * :class:`MonteCarloShardJob` is a contiguous sample range of one such point;
 * :class:`PUFPairsJob` / :class:`PUFPairsShardJob` are a batch (or a
   contiguous pair range of a batch) of Jaccard pairs for one Figure 5/6 cell
-  or the aging study.
+  or the aging study;
+* :class:`FleetTrafficJob` / :class:`FleetTrafficShardJob` replay a stream
+  (or a contiguous request range of a stream) of fleet authentication
+  traffic (:mod:`repro.fleet`);
+* :class:`FleetEnrollJob` / :class:`FleetEnrollShardJob` enroll a fleet (or
+  a contiguous device range of one) into the verifier's golden store.
 
 Jobs whose work splits into independent units additionally implement the
 :class:`ShardedJob` protocol (``shard_jobs`` -> run each shard -> ``merge``),
@@ -366,6 +371,24 @@ def _decode_pair_values(payload: dict[str, Any]) -> dict[str, list[float]]:
     return {key: [float(value) for value in values] for key, values in payload.items()}
 
 
+def _merge_keyed_lists(values: "list[Any]") -> dict[str, list[Any]]:
+    """Merge shard result dicts by concatenating each key's list, in order."""
+    merged: dict[str, list[Any]] = {}
+    for value in values:
+        for key, part in value.items():
+            merged.setdefault(key, []).extend(part)
+    return merged
+
+
+def _decode_enroll_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Re-type a cached golden-store payload (JSON numbers back to ints)."""
+    return {
+        "keys": [[int(d), int(k)] for d, k in payload["keys"]],
+        "counts": [int(count) for count in payload["counts"]],
+        "positions": [int(position) for position in payload["positions"]],
+    }
+
+
 @dataclass(frozen=True)
 class PUFPairsJob(ShardedJob):
     """A batch of Jaccard pairs: one Figure 5/6 cell or the aging study.
@@ -430,6 +453,285 @@ class PUFPairsJob(ShardedJob):
 
     def decode(self, payload: dict[str, Any]) -> Any:
         return _decode_pair_values(payload)
+
+
+@lru_cache(maxsize=8)
+def _fleet_runtime(fleet_config):
+    """Per-process memo of (fleet, verifier) for one fleet config.
+
+    The verifier enrolls lazily, so the golden store only ever holds the
+    (device, challenge) slots the requests of this worker actually touched.
+    Sharing it across the shard jobs of one worker is safe: golden responses
+    are pure functions of the fleet config, so a memoized slot holds exactly
+    the array a fresh enrollment would recompute.
+    """
+    from repro.fleet.devices import DeviceFleet
+    from repro.fleet.verifier import FleetVerifier
+
+    fleet = DeviceFleet(fleet_config)
+    return fleet, FleetVerifier(fleet)
+
+
+def _run_fleet_traffic(
+    spec: "FleetTrafficJob", start: int, stop: int
+) -> dict[str, list[float]]:
+    """Replay requests ``[start, stop)`` of one fleet traffic stream."""
+    from repro.fleet.traffic import authenticate_block
+
+    fleet, verifier = _fleet_runtime(spec.fleet_config())
+    genuine, impostor = authenticate_block(
+        fleet, verifier, spec.traffic_config(), start, stop
+    )
+    return {"genuine": genuine.tolist(), "impostor": impostor.tolist()}
+
+
+@dataclass(frozen=True)
+class FleetTrafficJob(ShardedJob):
+    """One authentication traffic stream replayed against one fleet.
+
+    The result value is ``{"genuine": [...], "impostor": [...]}``: the
+    Jaccard similarity of every request, split by presenter category, in
+    request-index order.  Per-request streams make the value independent of
+    sharding and worker count (:mod:`repro.fleet.traffic`).
+    """
+
+    fleet_seed: int
+    devices: int
+    puf: str
+    requests: int
+    challenges_per_device: int = 4
+    impostor_ratio: float = 0.1
+    temperature_jitter_c: float = 0.0
+    aging_horizon_hours: float = 0.0
+    reenroll_hours: float = 0.0
+
+    kind = "fleet-traffic"
+
+    def fleet_config(self):
+        """The :class:`repro.fleet.devices.FleetConfig` this job addresses."""
+        from repro.fleet.devices import FleetConfig
+
+        return FleetConfig(
+            seed=self.fleet_seed,
+            devices=self.devices,
+            puf=self.puf,
+            challenges_per_device=self.challenges_per_device,
+        )
+
+    def traffic_config(self):
+        """The :class:`repro.fleet.traffic.TrafficConfig` this job replays."""
+        from repro.fleet.traffic import TrafficConfig
+
+        return TrafficConfig(
+            requests=self.requests,
+            impostor_ratio=self.impostor_ratio,
+            temperature_jitter_c=self.temperature_jitter_c,
+            aging_horizon_hours=self.aging_horizon_hours,
+            reenroll_hours=self.reenroll_hours,
+        )
+
+    @property
+    def job_id(self) -> str:
+        if self.aging_horizon_hours:
+            detail = (
+                f"reenroll={self.reenroll_hours:g}h"
+                if self.reenroll_hours
+                else "reenroll=never"
+            )
+        else:
+            detail = f"imp={self.impostor_ratio:g}"
+        return f"fleet[{self.puf},n={self.devices},{detail}]"
+
+    @property
+    def config(self) -> dict[str, Any]:
+        return {
+            "fleet_seed": self.fleet_seed,
+            "devices": self.devices,
+            "puf": self.puf,
+            "requests": self.requests,
+            "challenges_per_device": self.challenges_per_device,
+            "impostor_ratio": self.impostor_ratio,
+            "temperature_jitter_c": self.temperature_jitter_c,
+            "aging_horizon_hours": self.aging_horizon_hours,
+            "reenroll_hours": self.reenroll_hours,
+        }
+
+    def run(self) -> Any:
+        return _run_fleet_traffic(self, 0, self.requests)
+
+    def shard_jobs(self, shard_size: int) -> list[Job] | None:
+        if shard_size >= self.requests:
+            return None
+        return [
+            FleetTrafficShardJob(batch=self, start=start, stop=stop)
+            for start, stop in shard_ranges(self.requests, shard_size)
+        ]
+
+    def merge(self, values: list[Any]) -> Any:
+        return _merge_keyed_lists(values)
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return result
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        return _decode_pair_values(payload)
+
+
+@dataclass(frozen=True)
+class FleetTrafficShardJob(Job):
+    """Requests ``[start, stop)`` of one fleet traffic stream.
+
+    Wraps the stream job verbatim; the config inherits everything from the
+    stream *except* its total request count (like the other shard kinds), so
+    replaying a longer stream re-uses every cached block.
+    """
+
+    batch: FleetTrafficJob
+    start: int
+    stop: int
+
+    kind = "fleet-traffic-shard"
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.batch.job_id}[{self.start}:{self.stop}]"
+
+    @property
+    def config(self) -> dict[str, Any]:
+        config = dict(self.batch.config)
+        del config["requests"]  # block results do not depend on the total
+        config["start"] = self.start
+        config["stop"] = self.stop
+        return config
+
+    def run(self) -> Any:
+        return _run_fleet_traffic(self.batch, self.start, self.stop)
+
+    def shard_range(self) -> tuple[int, int]:
+        return (self.start, self.stop)
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return result
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        return _decode_pair_values(payload)
+
+
+def _run_fleet_enroll(
+    spec: "FleetEnrollJob", start: int, stop: int
+) -> dict[str, Any]:
+    """Enroll devices ``[start, stop)`` into a fresh golden-store block."""
+    from repro.fleet.devices import DeviceFleet
+    from repro.fleet.verifier import FleetVerifier
+
+    # A fresh store per block: the payload must contain exactly this device
+    # range, while the memoized traffic verifier accumulates arbitrary slots.
+    fleet, _ = _fleet_runtime(spec.fleet_config())
+    verifier = FleetVerifier(fleet)
+    verifier.enroll_range(start, stop)
+    return verifier.store.to_payload()
+
+
+@dataclass(frozen=True)
+class FleetEnrollJob(ShardedJob):
+    """Fleet-wide enrollment into the verifier's array-native golden store.
+
+    The result value is the :meth:`repro.fleet.verifier.GoldenStore.
+    to_payload` dict covering every (device, challenge) slot in device-major
+    order; device ranges merge by concatenation, so enrollment partitions
+    across the pool bit-identically to a serial pass.
+    """
+
+    fleet_seed: int
+    devices: int
+    puf: str
+    challenges_per_device: int = 4
+
+    kind = "fleet-enroll"
+
+    def fleet_config(self):
+        """The :class:`repro.fleet.devices.FleetConfig` this job enrolls."""
+        from repro.fleet.devices import FleetConfig
+
+        return FleetConfig(
+            seed=self.fleet_seed,
+            devices=self.devices,
+            puf=self.puf,
+            challenges_per_device=self.challenges_per_device,
+        )
+
+    @property
+    def job_id(self) -> str:
+        return f"fleet-enroll[{self.puf},n={self.devices}]"
+
+    @property
+    def config(self) -> dict[str, Any]:
+        return {
+            "fleet_seed": self.fleet_seed,
+            "devices": self.devices,
+            "puf": self.puf,
+            "challenges_per_device": self.challenges_per_device,
+        }
+
+    def run(self) -> Any:
+        return _run_fleet_enroll(self, 0, self.devices)
+
+    def shard_jobs(self, shard_size: int) -> list[Job] | None:
+        if shard_size >= self.devices:
+            return None
+        return [
+            FleetEnrollShardJob(batch=self, start=start, stop=stop)
+            for start, stop in shard_ranges(self.devices, shard_size)
+        ]
+
+    def merge(self, values: list[Any]) -> Any:
+        return _merge_keyed_lists(values)
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return result
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        return _decode_enroll_payload(payload)
+
+
+@dataclass(frozen=True)
+class FleetEnrollShardJob(Job):
+    """Devices ``[start, stop)`` of one fleet enrollment.
+
+    The config drops the fleet's total device count: a device's golden
+    responses depend only on ``(fleet_seed, device_id)``, so growing the
+    fleet re-uses every previously cached enrollment block.
+    """
+
+    batch: FleetEnrollJob
+    start: int
+    stop: int
+
+    kind = "fleet-enroll-shard"
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.batch.job_id}[{self.start}:{self.stop}]"
+
+    @property
+    def config(self) -> dict[str, Any]:
+        config = dict(self.batch.config)
+        del config["devices"]  # block results do not depend on the total
+        config["start"] = self.start
+        config["stop"] = self.stop
+        return config
+
+    def run(self) -> Any:
+        return _run_fleet_enroll(self.batch, self.start, self.stop)
+
+    def shard_range(self) -> tuple[int, int]:
+        return (self.start, self.stop)
+
+    def encode(self, result: Any) -> dict[str, Any]:
+        return result
+
+    def decode(self, payload: dict[str, Any]) -> Any:
+        return _decode_enroll_payload(payload)
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,8 @@ Usage::
     python -m repro.experiments daemon start     # warm daemon (pool + memory index)
     python -m repro.experiments daemon status    # JSON status of the running daemon
     python -m repro.experiments daemon stop
+    python -m repro.experiments fleet --devices 10000 --requests 2000 --jobs 4
+                                                 # ad-hoc fleet authentication run
     python -m repro.experiments --list           # list experiment identifiers
 
 Execution goes through :mod:`repro.engine` as an *event stream*: experiments
@@ -313,6 +315,141 @@ def _cache_prune_main(argv: list[str]) -> int:
     return 0
 
 
+def _fleet_main(argv: list[str]) -> int:
+    """``fleet`` subcommand: one ad-hoc fleet authentication traffic run.
+
+    Provisions a device fleet, replays a deterministic mixed
+    genuine/impostor request stream against it (optionally sharded across
+    worker processes -- results are bit-identical for any ``--jobs`` /
+    ``--shard-size``) and reports FAR/FRR at the given acceptance threshold.
+    Wall-clock throughput (auths/sec) is reported on stderr so ``--json``
+    stdout stays deterministic.
+    """
+    import time
+
+    from repro.engine import FleetTrafficJob
+    from repro.engine.sharding import run_sharded
+    from repro.fleet.devices import FLEET_PUF_FACTORIES
+    from repro.fleet.traffic import TrafficSummary
+    from repro.utils.tables import render_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fleet",
+        description="Replay an authentication traffic stream against a "
+        "simulated device fleet and report FAR/FRR/throughput.",
+    )
+    parser.add_argument("--devices", type=int, default=1000, metavar="N",
+                        help="fleet size (default: 1000)")
+    parser.add_argument("--requests", type=int, default=1000, metavar="N",
+                        help="authentication requests to replay (default: 1000)")
+    parser.add_argument("--puf", default="CODIC-sig PUF", metavar="NAME",
+                        choices=sorted(FLEET_PUF_FACTORIES),
+                        help="PUF class (default: CODIC-sig PUF)")
+    parser.add_argument("--challenges", type=int, default=4, metavar="K",
+                        help="enrolled challenges per device (default: 4)")
+    parser.add_argument("--impostor-ratio", type=float, default=0.1, metavar="R",
+                        help="fraction of impostor requests (default: 0.1)")
+    parser.add_argument("--temperature-jitter", type=float, default=0.0,
+                        metavar="C", help="per-request temperature jitter in "
+                        "degrees, uniform in [-C, +C] (default: 0)")
+    parser.add_argument("--aging-horizon", type=float, default=0.0, metavar="H",
+                        help="device ages drawn from [0, H] hours (default: 0)")
+    parser.add_argument("--reenroll", type=float, default=0.0, metavar="H",
+                        help="re-enrollment interval in hours; 0 = never "
+                        "(default: 0)")
+    parser.add_argument("--threshold", type=float, default=1.0, metavar="T",
+                        help="acceptance threshold; 1.0 = exact matching "
+                        "(default: 1.0)")
+    parser.add_argument("--seed", type=int, default=4242, metavar="S",
+                        help="fleet seed (default: 4242)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--shard-size", type=int, default=None, metavar="N",
+                        help="split the stream into request blocks of N")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON document on stdout")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be a positive worker count", file=sys.stderr)
+        return 2
+    if args.shard_size is not None and args.shard_size <= 0:
+        print("--shard-size must be positive", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.threshold <= 1.0:
+        print("--threshold must be in [0, 1]", file=sys.stderr)
+        return 2
+
+    job = FleetTrafficJob(
+        fleet_seed=args.seed,
+        devices=args.devices,
+        puf=args.puf,
+        requests=args.requests,
+        challenges_per_device=args.challenges,
+        impostor_ratio=args.impostor_ratio,
+        temperature_jitter_c=args.temperature_jitter,
+        aging_horizon_hours=args.aging_horizon,
+        reenroll_hours=args.reenroll,
+    )
+    try:
+        # Validate the full configuration before any worker sees it, so bad
+        # values fail with a clear message instead of a pool traceback.
+        job.fleet_config()
+        job.traffic_config()
+        if args.impostor_ratio > 0.0 and args.devices < 2:
+            raise ValueError(
+                "impostor traffic requires a fleet of at least two devices "
+                "(use --impostor-ratio 0 for a single-device fleet)"
+            )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    # A single traffic job only parallelizes through request sharding, so
+    # --jobs without an explicit --shard-size defaults to an even split
+    # (results are bit-identical for any value).
+    shard_size = args.shard_size
+    if shard_size is None and args.jobs > 1:
+        shard_size = -(-args.requests // args.jobs)
+    start = time.perf_counter()
+    outcome = run_sharded(
+        [job], shard_size=shard_size, workers=args.jobs, cache=None
+    )[0]
+    elapsed = time.perf_counter() - start
+    summary = TrafficSummary.from_payload(outcome.value)
+    print(
+        f"fleet: {args.requests} auths in {elapsed:.3f}s "
+        f"({args.requests / elapsed:,.0f} auths/sec, {args.jobs} worker(s))",
+        file=sys.stderr,
+    )
+    document = {
+        "config": job.config,
+        "threshold": args.threshold,
+        "genuine_trials": summary.genuine_trials,
+        "impostor_trials": summary.impostor_trials,
+        "frr": summary.frr(args.threshold),
+        "far": summary.far(args.threshold),
+        "genuine_mean_jaccard": round(summary.genuine_mean(), 6),
+        "impostor_mean_jaccard": round(summary.impostor_mean(), 6),
+    }
+    if args.as_json:
+        print(json.dumps(document, indent=2))
+        return 0
+    rows = [
+        ["devices", args.devices],
+        ["requests", args.requests],
+        ["PUF", args.puf],
+        ["acceptance threshold", args.threshold],
+        ["genuine trials", summary.genuine_trials],
+        ["impostor trials", summary.impostor_trials],
+        ["FRR (%)", round(summary.frr(args.threshold) * 100.0, 2)],
+        ["FAR (%)", round(summary.far(args.threshold) * 100.0, 2)],
+        ["genuine mean Jaccard", round(summary.genuine_mean(), 4)],
+        ["impostor mean Jaccard", round(summary.impostor_mean(), 4)],
+    ]
+    print(render_table(["Metric", "Value"], rows, title="fleet authentication"))
+    return 0
+
+
 def _daemon_main(argv: list[str]) -> int:
     """``daemon`` subcommand: start/stop/status/run the warm daemon."""
     parser = argparse.ArgumentParser(
@@ -384,6 +521,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_prune_main(argv[1:])
     if argv[:1] == ["daemon"]:
         return _daemon_main(argv[1:])
+    if argv[:1] == ["fleet"]:
+        return _fleet_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be a positive worker count", file=sys.stderr)

@@ -10,6 +10,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 from repro.experiments import (
     coldboot_experiments,
     dealloc_experiments,
+    fleet_experiments,
     puf_experiments,
     substrate_tables,
 )
@@ -32,6 +33,8 @@ EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
     "table11": coldboot_experiments.run_table11,
     "fig8": dealloc_experiments.run_fig8,
     "fig9": dealloc_experiments.run_fig9,
+    "fleet-roc": fleet_experiments.run_fleet_roc,
+    "fleet-aging": fleet_experiments.run_fleet_aging,
 }
 
 

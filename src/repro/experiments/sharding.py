@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.experiments import coldboot_experiments, puf_experiments
+from repro.experiments import (
+    coldboot_experiments,
+    fleet_experiments,
+    puf_experiments,
+)
 from repro.experiments.base import ExperimentResult
 
 
@@ -39,6 +43,14 @@ SHARD_PLANS: dict[str, ShardPlan] = {
     "table11": ShardPlan(
         coldboot_experiments.table11_unit_jobs,
         coldboot_experiments.assemble_table11,
+    ),
+    "fleet-roc": ShardPlan(
+        fleet_experiments.fleet_roc_unit_jobs,
+        fleet_experiments.assemble_fleet_roc,
+    ),
+    "fleet-aging": ShardPlan(
+        fleet_experiments.fleet_aging_unit_jobs,
+        fleet_experiments.assemble_fleet_aging,
     ),
 }
 

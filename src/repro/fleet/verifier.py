@@ -1,0 +1,222 @@
+"""The fleet verifier: an array-native store of golden responses.
+
+During enrollment the verifier evaluates each device's challenges once at the
+reference temperature and stores the *golden* responses.  The store is
+array-native in the same sense as the response pipeline
+(:mod:`repro.puf.positions`): all golden position sets live concatenated in
+one growable ``int64`` buffer, with a slot table mapping
+``(device_id, challenge_index)`` to its ``[start, stop)`` slice -- no Python
+sets, no per-response ndarray objects.
+
+Because golden responses are pure functions of the fleet config (device
+``i``'s ``k``-th golden response is the PUF evaluated on the challenge at
+stream ``("challenge", i, k)`` with the noise stream ``("enroll", i, k)``),
+the verifier can enroll **lazily**: a traffic shard that authenticates
+against device 8231 materializes that device's golden responses on first use
+and still produces exactly the values a fleet-wide eager enrollment would
+have stored.  Eager enrollment (:meth:`FleetVerifier.enroll_range`) exists
+for the device-partitioned :class:`~repro.engine.jobs.FleetEnrollJob` and
+returns its block as a JSON-safe payload that merges by concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.fleet.devices import DeviceFleet
+from repro.puf.base import PUFResponse
+from repro.puf.positions import jaccard_index_arrays, positions_equal
+
+#: Initial capacity of the store's position buffer.
+_INITIAL_CAPACITY = 256
+
+
+class GoldenStore:
+    """Array-native storage of golden responses.
+
+    One growable sorted-positions buffer plus a slot table; ``get`` returns a
+    read-only slice (zero copies on the verification hot path).
+    """
+
+    __slots__ = ("_positions", "_size", "_slots")
+
+    def __init__(self) -> None:
+        self._positions = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._size = 0
+        self._slots: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._slots
+
+    @property
+    def total_positions(self) -> int:
+        """Total stored golden positions across all slots."""
+        return self._size
+
+    def add(
+        self, device_id: int, challenge_index: int, positions: np.ndarray
+    ) -> None:
+        """Store one golden position array (sorted unique ``int64``)."""
+        key = (device_id, challenge_index)
+        if key in self._slots:
+            raise KeyError(f"golden response for {key} already enrolled")
+        block = np.asarray(positions, dtype=np.int64)
+        needed = self._size + block.size
+        if needed > self._positions.size:
+            capacity = max(self._positions.size * 2, needed, _INITIAL_CAPACITY)
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._size] = self._positions[: self._size]
+            self._positions = grown
+        self._positions[self._size : needed] = block
+        self._slots[key] = (self._size, needed)
+        self._size = needed
+
+    def get(self, device_id: int, challenge_index: int) -> np.ndarray | None:
+        """Read-only golden position slice, or ``None`` when not enrolled."""
+        slot = self._slots.get((device_id, challenge_index))
+        if slot is None:
+            return None
+        view = self._positions[slot[0] : slot[1]]
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------
+    # JSON-safe payloads (what the engine cache persists)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """Slots in insertion order as ``{"keys", "counts", "positions"}``.
+
+        Concatenating the payloads of two stores (in order) is the payload
+        of the store holding both blocks, which is what makes
+        device-partitioned enrollment merge by list concatenation.
+        """
+        return {
+            "keys": [[key[0], key[1]] for key in self._slots],
+            "counts": [stop - start for start, stop in self._slots.values()],
+            "positions": self._positions[: self._size].tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "GoldenStore":
+        """Inverse of :meth:`to_payload`."""
+        store = cls()
+        positions = np.asarray(payload["positions"], dtype=np.int64)
+        cursor = 0
+        for (device_id, challenge_index), count in zip(
+            payload["keys"], payload["counts"]
+        ):
+            store.add(
+                int(device_id),
+                int(challenge_index),
+                positions[cursor : cursor + int(count)],
+            )
+            cursor += int(count)
+        if cursor != positions.size:
+            raise ValueError(
+                f"golden payload is inconsistent: counts cover {cursor} "
+                f"positions but {positions.size} were provided"
+            )
+        return store
+
+    @classmethod
+    def merge_payloads(cls, payloads: Iterable[dict[str, Any]]) -> dict[str, Any]:
+        """Concatenate enrollment-block payloads, in the given order."""
+        merged: dict[str, list[Any]] = {"keys": [], "counts": [], "positions": []}
+        for payload in payloads:
+            for key in merged:
+                merged[key].extend(payload[key])
+        return merged
+
+
+@dataclass
+class FleetVerifier:
+    """Enrollment registry plus golden-response matcher for one fleet."""
+
+    fleet: DeviceFleet
+    store: GoldenStore = field(default_factory=GoldenStore)
+
+    # ------------------------------------------------------------------
+    # Enrollment
+    # ------------------------------------------------------------------
+    def enroll(self, device_id: int, challenge_index: int) -> np.ndarray:
+        """Enroll one (device, challenge): evaluate and store the golden."""
+        config = self.fleet.config
+        device = self.fleet.device(device_id)
+        response = device.evaluate(
+            self.fleet.challenge(device_id, challenge_index),
+            config.enroll_temperature_c,
+            rng=self.fleet.enrollment_rng(device_id, challenge_index),
+        )
+        self.store.add(device_id, challenge_index, response.position_array)
+        return self.store.get(device_id, challenge_index)
+
+    def enroll_device(self, device_id: int) -> None:
+        """Enroll every challenge of one device."""
+        for challenge_index in range(self.fleet.config.challenges_per_device):
+            self.enroll(device_id, challenge_index)
+
+    def enroll_range(self, start: int, stop: int) -> None:
+        """Enroll devices ``[start, stop)`` (the device-partition unit)."""
+        if not 0 <= start <= stop <= self.fleet.config.devices:
+            raise ValueError(
+                f"invalid device range [{start}, {stop}) for "
+                f"{self.fleet.config.devices} devices"
+            )
+        for device_id in range(start, stop):
+            self.enroll_device(device_id)
+
+    def golden(self, device_id: int, challenge_index: int) -> np.ndarray:
+        """Golden positions of one (device, challenge), enrolling lazily.
+
+        Lazy enrollment stores exactly the array an eager fleet-wide
+        enrollment would have stored (golden responses are functions of the
+        fleet config alone), so shards may materialize only the devices their
+        requests touch.
+        """
+        golden = self.store.get(device_id, challenge_index)
+        if golden is None:
+            golden = self.enroll(device_id, challenge_index)
+        return golden
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def similarity(
+        self, device_id: int, challenge_index: int, response: PUFResponse
+    ) -> float:
+        """Jaccard similarity of a candidate response to the golden one."""
+        return jaccard_index_arrays(
+            self.golden(device_id, challenge_index), response.position_array
+        )
+
+    def verify(
+        self,
+        device_id: int,
+        challenge_index: int,
+        response: PUFResponse,
+        acceptance_threshold: float = 1.0,
+    ) -> bool:
+        """Accept or reject a candidate response.
+
+        Mirrors :class:`repro.puf.authentication.AuthenticationProtocol`:
+        a threshold of ``1.0`` is exact matching, anything lower accepts at
+        ``jaccard >= threshold``.
+        """
+        if not 0.0 <= acceptance_threshold <= 1.0:
+            raise ValueError(
+                "acceptance_threshold must be in [0, 1], got "
+                f"{acceptance_threshold}"
+            )
+        golden = self.golden(device_id, challenge_index)
+        if acceptance_threshold >= 1.0:
+            return positions_equal(golden, response.position_array)
+        return (
+            jaccard_index_arrays(golden, response.position_array)
+            >= acceptance_threshold
+        )

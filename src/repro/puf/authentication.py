@@ -57,6 +57,15 @@ class AuthenticationProtocol:
     acceptance_threshold: float = 1.0
     _golden: dict[Challenge, PUFResponse] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # A Jaccard index lives in [0, 1]: anything below 0 would accept
+        # every response, anything above 1 would reject even exact matches.
+        if not 0.0 <= self.acceptance_threshold <= 1.0:
+            raise ValueError(
+                "acceptance_threshold must be in [0, 1], got "
+                f"{self.acceptance_threshold}"
+            )
+
     def enroll(self, challenge: Challenge, temperature_c: float = 30.0,
                rng: np.random.Generator | None = None) -> PUFResponse:
         """Store the golden response for one challenge."""

@@ -13,7 +13,7 @@ class TestRegistry:
         expected = {
             "table1", "table2", "waveforms", "fig5", "fig6", "aging",
             "table4", "table10", "fig7", "fig7-energy", "table6", "table11",
-            "fig8", "fig9",
+            "fig8", "fig9", "fleet-roc", "fleet-aging",
         }
         assert set(EXPERIMENTS) == expected
 

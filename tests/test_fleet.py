@@ -1,0 +1,439 @@
+"""Tests for the fleet subsystem: devices, verifier, traffic, engine jobs,
+experiments and the ``fleet`` CLI subcommand.
+
+The load-bearing property throughout is *partition independence*: devices
+are reconstructible from ``(fleet_seed, device_id)`` alone, golden responses
+from ``(fleet_seed, device_id, challenge_index)``, and request results from
+``(fleet config, traffic config, request_index)`` -- so any sharding of
+enrollment or traffic merges bit-identically to a serial run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ExperimentJob,
+    FleetEnrollJob,
+    FleetTrafficJob,
+    run_sharded,
+)
+from repro.fleet import (
+    DeviceFleet,
+    FleetConfig,
+    FleetVerifier,
+    GoldenStore,
+    TrafficConfig,
+    authenticate_block,
+    authenticate_request,
+)
+
+#: Small fleet shared by most tests (CODIC-sig: cheapest evaluation).
+CONFIG = FleetConfig(seed=11, devices=8, puf="CODIC-sig PUF", challenges_per_device=2)
+
+TRAFFIC = TrafficConfig(requests=24, impostor_ratio=0.4, temperature_jitter_c=4.0)
+
+
+def fresh_runtime(config: FleetConfig = CONFIG) -> tuple[DeviceFleet, FleetVerifier]:
+    fleet = DeviceFleet(config)
+    return fleet, FleetVerifier(fleet)
+
+
+class TestFleetConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="devices"):
+            FleetConfig(devices=0)
+        with pytest.raises(ValueError, match="challenges_per_device"):
+            FleetConfig(challenges_per_device=0)
+        with pytest.raises(ValueError, match="unknown PUF"):
+            FleetConfig(puf="nope")
+        with pytest.raises(ValueError, match="chips_per_device"):
+            FleetConfig(chips_per_device=-1)
+        with pytest.raises(ValueError):
+            FleetConfig(banks=0)
+
+    def test_config_roundtrip(self):
+        assert FleetConfig.from_config(CONFIG.to_config()) == CONFIG
+
+    def test_segment_bytes(self):
+        assert CONFIG.segment_bytes == CONFIG.row_bits // 8
+
+
+class TestDeviceFleet:
+    def test_device_reconstructible_across_instances(self):
+        first = DeviceFleet(CONFIG)
+        second = DeviceFleet(CONFIG)
+        challenge = first.challenge(5, 1)
+        assert challenge == second.challenge(5, 1)
+        response_a = first.device(5).evaluate(
+            challenge, 30.0, rng=first.enrollment_rng(5, 1)
+        )
+        response_b = second.device(5).evaluate(
+            challenge, 30.0, rng=second.enrollment_rng(5, 1)
+        )
+        assert response_a == response_b
+
+    def test_devices_are_physically_distinct(self):
+        fleet = DeviceFleet(CONFIG)
+        challenge = fleet.challenge(0, 0)
+        response_0 = fleet.device(0).evaluate(
+            challenge, 30.0, rng=fleet.enrollment_rng(0, 0)
+        )
+        response_1 = fleet.device(1).evaluate(
+            challenge, 30.0, rng=fleet.enrollment_rng(0, 0)
+        )
+        assert not response_0.matches(response_1)
+
+    def test_lru_eviction_preserves_values(self):
+        unbounded = DeviceFleet(CONFIG)
+        bounded = DeviceFleet(CONFIG, max_cached_devices=2)
+        challenge = unbounded.challenge(0, 0)
+        want = unbounded.device(0).evaluate(
+            challenge, 30.0, rng=unbounded.enrollment_rng(0, 0)
+        )
+        for device_id in (0, 1, 2, 3):  # evicts device 0 from the memo
+            bounded.device(device_id)
+        got = bounded.device(0).evaluate(
+            challenge, 30.0, rng=bounded.enrollment_rng(0, 0)
+        )
+        assert want == got
+
+    def test_out_of_range_ids_raise(self):
+        fleet = DeviceFleet(CONFIG)
+        with pytest.raises(ValueError, match="device_id"):
+            fleet.device(CONFIG.devices)
+        with pytest.raises(ValueError, match="device_id"):
+            fleet.challenge(-1, 0)
+        with pytest.raises(ValueError, match="challenge_index"):
+            fleet.challenge(0, CONFIG.challenges_per_device)
+
+    def test_vendor_cycling(self):
+        fleet = DeviceFleet(CONFIG)
+        vendors = {fleet.device(i).module.vendor.name for i in range(3)}
+        assert vendors == {"A", "B", "C"}
+
+
+class TestGoldenStore:
+    def test_add_get_roundtrip(self):
+        store = GoldenStore()
+        first = np.array([3, 17, 99], dtype=np.int64)
+        second = np.array([], dtype=np.int64)
+        store.add(0, 0, first)
+        store.add(0, 1, second)
+        assert len(store) == 2
+        assert (0, 0) in store and (0, 1) in store
+        assert store.get(0, 0).tolist() == [3, 17, 99]
+        assert store.get(0, 1).size == 0
+        assert store.get(1, 0) is None
+        assert store.total_positions == 3
+
+    def test_slices_are_read_only(self):
+        store = GoldenStore()
+        store.add(0, 0, np.array([1, 2], dtype=np.int64))
+        view = store.get(0, 0)
+        with pytest.raises(ValueError):
+            view[0] = 7
+
+    def test_duplicate_add_raises(self):
+        store = GoldenStore()
+        store.add(0, 0, np.array([1], dtype=np.int64))
+        with pytest.raises(KeyError, match="already enrolled"):
+            store.add(0, 0, np.array([2], dtype=np.int64))
+
+    def test_payload_roundtrip_and_merge(self):
+        store = GoldenStore()
+        store.add(0, 0, np.array([1, 5], dtype=np.int64))
+        store.add(1, 0, np.array([2], dtype=np.int64))
+        payload = store.to_payload()
+        rebuilt = GoldenStore.from_payload(payload)
+        assert rebuilt.get(0, 0).tolist() == [1, 5]
+        assert rebuilt.get(1, 0).tolist() == [2]
+
+        other = GoldenStore()
+        other.add(2, 0, np.array([9], dtype=np.int64))
+        merged = GoldenStore.merge_payloads([payload, other.to_payload()])
+        combined = GoldenStore.from_payload(merged)
+        assert len(combined) == 3
+        assert combined.get(2, 0).tolist() == [9]
+
+    def test_inconsistent_payload_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            GoldenStore.from_payload(
+                {"keys": [[0, 0]], "counts": [1], "positions": [1, 2]}
+            )
+
+
+class TestFleetVerifier:
+    def test_lazy_golden_equals_eager_enrollment(self):
+        lazy_fleet, lazy = fresh_runtime()
+        eager_fleet, eager = fresh_runtime()
+        eager.enroll_range(0, CONFIG.devices)
+        # Touch lazily in scrambled order; values must match the eager pass.
+        for device_id in (5, 0, 3):
+            for k in range(CONFIG.challenges_per_device):
+                assert (
+                    lazy.golden(device_id, k).tolist()
+                    == eager.store.get(device_id, k).tolist()
+                )
+        assert len(eager.store) == CONFIG.devices * CONFIG.challenges_per_device
+
+    def test_verify_genuine_and_impostor(self):
+        fleet, verifier = fresh_runtime()
+        challenge = fleet.challenge(2, 0)
+        genuine = fleet.device(2).evaluate(challenge, 30.0, rng=fleet.traffic_rng(0))
+        impostor = fleet.device(4).evaluate(challenge, 30.0, rng=fleet.traffic_rng(1))
+        assert verifier.verify(2, 0, genuine, acceptance_threshold=0.8)
+        assert not verifier.verify(2, 0, impostor, acceptance_threshold=0.8)
+        assert verifier.similarity(2, 0, impostor) < 0.2
+
+    def test_verify_threshold_validation(self):
+        fleet, verifier = fresh_runtime()
+        challenge = fleet.challenge(0, 0)
+        response = fleet.device(0).evaluate(challenge, 30.0, rng=fleet.traffic_rng(0))
+        with pytest.raises(ValueError, match="acceptance_threshold"):
+            verifier.verify(0, 0, response, acceptance_threshold=1.5)
+
+    def test_enroll_range_validation(self):
+        _, verifier = fresh_runtime()
+        with pytest.raises(ValueError, match="device range"):
+            verifier.enroll_range(0, CONFIG.devices + 1)
+
+
+class TestTraffic:
+    def test_traffic_config_validation(self):
+        with pytest.raises(ValueError, match="requests"):
+            TrafficConfig(requests=0)
+        with pytest.raises(ValueError, match="impostor_ratio"):
+            TrafficConfig(impostor_ratio=1.5)
+        with pytest.raises(ValueError, match="temperature_jitter_c"):
+            TrafficConfig(temperature_jitter_c=-1.0)
+        with pytest.raises(ValueError, match="aging_horizon_hours"):
+            TrafficConfig(aging_horizon_hours=-1.0)
+        with pytest.raises(ValueError, match="reenroll_hours"):
+            TrafficConfig(reenroll_hours=-1.0)
+        assert TrafficConfig.from_config(TRAFFIC.to_config()) == TRAFFIC
+
+    def test_block_matches_per_request_replay(self):
+        fleet, verifier = fresh_runtime()
+        genuine, impostor = authenticate_block(fleet, verifier, TRAFFIC, 0, 10)
+        replay_fleet, replay_verifier = fresh_runtime()
+        expected_genuine, expected_impostor = [], []
+        for index in range(10):
+            is_impostor, similarity = authenticate_request(
+                replay_fleet, replay_verifier, TRAFFIC, index
+            )
+            (expected_impostor if is_impostor else expected_genuine).append(similarity)
+        assert genuine.tolist() == expected_genuine
+        assert impostor.tolist() == expected_impostor
+
+    def test_partitioned_blocks_merge_bit_identically(self):
+        fleet, verifier = fresh_runtime()
+        genuine, impostor = authenticate_block(fleet, verifier, TRAFFIC, 0, 24)
+        for boundaries in ([0, 24], [0, 7, 24], [0, 1, 2, 13, 24]):
+            parts = []
+            for start, stop in zip(boundaries, boundaries[1:]):
+                shard_fleet, shard_verifier = fresh_runtime()
+                parts.append(
+                    authenticate_block(shard_fleet, shard_verifier, TRAFFIC, start, stop)
+                )
+            merged_genuine = np.concatenate([part[0] for part in parts])
+            merged_impostor = np.concatenate([part[1] for part in parts])
+            assert merged_genuine.tolist() == genuine.tolist()
+            assert merged_impostor.tolist() == impostor.tolist()
+
+    def test_genuine_similar_impostor_dissimilar(self):
+        fleet, verifier = fresh_runtime()
+        genuine, impostor = authenticate_block(fleet, verifier, TRAFFIC, 0, 24)
+        assert genuine.size and impostor.size
+        assert float(genuine.mean()) > 0.9
+        assert float(impostor.mean()) < 0.1
+
+    def test_impostor_traffic_needs_two_devices(self):
+        config = FleetConfig(seed=3, devices=1, puf="CODIC-sig PUF")
+        fleet = DeviceFleet(config)
+        verifier = FleetVerifier(fleet)
+        traffic = TrafficConfig(requests=64, impostor_ratio=1.0)
+        with pytest.raises(ValueError, match="at least two devices"):
+            authenticate_block(fleet, verifier, traffic, 0, 64)
+
+    def test_invalid_range_raises(self):
+        fleet, verifier = fresh_runtime()
+        with pytest.raises(ValueError, match="request range"):
+            authenticate_block(fleet, verifier, TRAFFIC, 5, 3)
+        with pytest.raises(ValueError, match="request range"):
+            authenticate_block(fleet, verifier, TRAFFIC, 0, TRAFFIC.requests + 1)
+
+
+def traffic_job(**overrides) -> FleetTrafficJob:
+    parameters = dict(
+        fleet_seed=11,
+        devices=8,
+        puf="CODIC-sig PUF",
+        requests=24,
+        challenges_per_device=2,
+        impostor_ratio=0.4,
+        temperature_jitter_c=4.0,
+    )
+    parameters.update(overrides)
+    return FleetTrafficJob(**parameters)
+
+
+class TestFleetTrafficJob:
+    def test_run_matches_direct_block(self):
+        value = traffic_job().run()
+        fleet, verifier = fresh_runtime()
+        genuine, impostor = authenticate_block(fleet, verifier, TRAFFIC, 0, 24)
+        assert value["genuine"] == genuine.tolist()
+        assert value["impostor"] == impostor.tolist()
+
+    @pytest.mark.parametrize("shard_size", [1, 5, 8, 23])
+    def test_sharded_merge_bit_identical(self, shard_size):
+        job = traffic_job()
+        serial = job.run()
+        shards = job.shard_jobs(shard_size)
+        assert shards is not None
+        assert job.merge([shard.run() for shard in shards]) == serial
+
+    def test_declines_to_shard_when_block_covers_stream(self):
+        assert traffic_job().shard_jobs(24) is None
+
+    def test_shard_config_drops_total(self):
+        job = traffic_job()
+        shard = job.shard_jobs(10)[0]
+        assert "requests" not in shard.config
+        assert shard.config["start"] == 0 and shard.config["stop"] == 10
+        assert shard.shard_range() == (0, 10)
+
+    def test_encode_decode_roundtrip(self):
+        job = traffic_job()
+        value = job.run()
+        assert job.decode(json.loads(json.dumps(job.encode(value)))) == value
+
+    def test_run_sharded_across_workers(self):
+        job = traffic_job()
+        serial = job.run()
+        outcomes = run_sharded([job], shard_size=7, workers=2)
+        assert outcomes[0].value == serial
+
+
+class TestFleetEnrollJob:
+    def test_sharded_enrollment_matches_serial(self):
+        job = FleetEnrollJob(
+            fleet_seed=11, devices=8, puf="CODIC-sig PUF", challenges_per_device=2
+        )
+        serial = job.run()
+        shards = job.shard_jobs(3)
+        assert [shard.shard_range() for shard in shards] == [(0, 3), (3, 6), (6, 8)]
+        assert job.merge([shard.run() for shard in shards]) == serial
+        # The payload rehydrates into a store covering every slot.
+        store = GoldenStore.from_payload(serial)
+        assert len(store) == 8 * 2
+
+    def test_enrollment_matches_verifier_goldens(self):
+        job = FleetEnrollJob(
+            fleet_seed=11, devices=8, puf="CODIC-sig PUF", challenges_per_device=2
+        )
+        store = GoldenStore.from_payload(job.run())
+        _, verifier = fresh_runtime()
+        assert store.get(6, 1).tolist() == verifier.golden(6, 1).tolist()
+
+    def test_shard_config_drops_total(self):
+        job = FleetEnrollJob(fleet_seed=11, devices=8, puf="CODIC-sig PUF")
+        shard = job.shard_jobs(4)[0]
+        assert "devices" not in shard.config
+        assert job.shard_jobs(8) is None
+
+
+class TestFleetExperiments:
+    def test_fleet_roc_table_shape(self):
+        from repro.experiments.fleet_experiments import ROC_THRESHOLDS
+        from repro.experiments.registry import run_experiment
+        from repro.fleet.devices import FLEET_PUF_FACTORIES
+
+        result = run_experiment("fleet-roc")
+        assert len(result.rows) == len(FLEET_PUF_FACTORIES) * len(ROC_THRESHOLDS)
+        # FRR is monotonically non-decreasing in the threshold for every PUF.
+        for puf_name in FLEET_PUF_FACTORIES:
+            frrs = [row[2] for row in result.rows if row[0] == puf_name]
+            assert frrs == sorted(frrs)
+
+    def test_fleet_aging_policy_sweep(self):
+        from repro.experiments.fleet_experiments import (
+            AGING_POLICIES,
+            AGING_PUFS,
+        )
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("fleet-aging")
+        assert len(result.rows) == len(AGING_PUFS) * len(AGING_POLICIES)
+        latency = [row for row in result.rows if row[0] == "DRAM Latency PUF"]
+        # Loosening the policy (2h -> never) must not improve the Latency
+        # PUF's thresholded FRR, and the loosest policy must be strictly
+        # worse than the tightest.
+        frrs = [row[2] for row in latency]
+        assert frrs == sorted(frrs)
+        assert frrs[-1] > frrs[0]
+
+    @pytest.mark.parametrize("experiment_id", ["fleet-roc", "fleet-aging"])
+    def test_sharded_experiment_byte_identical(self, experiment_id):
+        from repro.experiments.registry import run_experiment
+
+        serial = run_experiment(experiment_id).to_dict()
+        outcome = run_sharded(
+            [ExperimentJob(experiment_id)], shard_size=13, workers=2
+        )[0]
+        assert outcome.value.to_dict() == serial
+
+
+class TestFleetCLI:
+    def run_cli(self, argv, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_table_output(self, capsys):
+        code, out, err = self.run_cli(
+            ["fleet", "--devices", "8", "--requests", "16", "--seed", "11"], capsys
+        )
+        assert code == 0
+        assert "fleet authentication" in out
+        assert "FRR (%)" in out
+        assert "auths/sec" in err
+
+    def test_json_byte_identical_across_jobs(self, capsys):
+        base = ["fleet", "--devices", "8", "--requests", "16", "--seed", "11",
+                "--json"]
+        code, serial, _ = self.run_cli(base, capsys)
+        assert code == 0
+        code, sharded, _ = self.run_cli(
+            base + ["--jobs", "2", "--shard-size", "5"], capsys
+        )
+        assert code == 0
+        assert serial == sharded
+        # --jobs without --shard-size defaults to an even request split.
+        code, auto_sharded, _ = self.run_cli(base + ["--jobs", "2"], capsys)
+        assert code == 0
+        assert serial == auto_sharded
+        document = json.loads(serial)
+        assert document["genuine_trials"] + document["impostor_trials"] == 16
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fleet", "--threshold", "1.5"],
+            ["fleet", "--jobs", "0"],
+            ["fleet", "--shard-size", "0"],
+            ["fleet", "--devices", "0"],
+            ["fleet", "--devices", "1"],  # impostors need >= 2 devices
+            ["fleet", "--requests", "8", "--impostor-ratio", "2.0"],
+        ],
+    )
+    def test_invalid_arguments_exit_2(self, argv, capsys):
+        code, _, err = self.run_cli(argv, capsys)
+        assert code == 2
+        assert err

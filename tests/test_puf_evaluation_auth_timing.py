@@ -99,6 +99,74 @@ class TestAuthentication:
         assert result.false_rejection_rate == 0.0
         assert result.false_acceptance_rate == 0.0
 
+    def test_partial_zero_trial_rates(self):
+        from repro.puf.authentication import AuthenticationResult
+
+        # Each rate guards its own denominator: genuine-only and
+        # impostor-only experiments must not divide by zero.
+        genuine_only = AuthenticationResult(4, 1, 0, 0)
+        assert genuine_only.false_rejection_rate == 0.25
+        assert genuine_only.false_acceptance_rate == 0.0
+        impostor_only = AuthenticationResult(0, 0, 5, 2)
+        assert impostor_only.false_rejection_rate == 0.0
+        assert impostor_only.false_acceptance_rate == 0.4
+
+
+class TestAuthenticationThresholdValidation:
+    def test_boundary_values_accepted(self, module):
+        puf = CODICSigPUF(module)
+        assert AuthenticationProtocol(puf, acceptance_threshold=0.0)
+        assert AuthenticationProtocol(puf, acceptance_threshold=1.0)
+
+    @pytest.mark.parametrize("threshold", [-0.001, 1.001, -5.0, 2.0, float("nan")])
+    def test_out_of_range_rejected(self, module, threshold):
+        puf = CODICSigPUF(module)
+        with pytest.raises(ValueError, match="acceptance_threshold"):
+            AuthenticationProtocol(puf, acceptance_threshold=threshold)
+
+
+class TestAuthenticationEdgeCases:
+    def _empty_response(self, challenge, temperature_c=30.0):
+        from repro.puf.base import PUFResponse
+
+        return PUFResponse(
+            positions=frozenset(), challenge=challenge, temperature_c=temperature_c
+        )
+
+    def test_unenrolled_challenge_raises_for_threshold_variant(self, module):
+        # The exact-matching variant is covered above; the threshold variant
+        # takes the Jaccard branch and must fail the same way.
+        puf = CODICSigPUF(module)
+        protocol = AuthenticationProtocol(puf, acceptance_threshold=0.5)
+        challenge = Challenge(SegmentAddress(0, 1))
+        response = puf.evaluate(challenge)
+        with pytest.raises(KeyError, match="never enrolled"):
+            protocol.authenticate(challenge, response)
+
+    def test_empty_golden_matches_empty_candidate(self, module):
+        # Two empty position sets are identical by the Jaccard convention
+        # (index 1.0), so an empty golden accepts an empty candidate under
+        # both exact matching and any threshold.
+        challenge = Challenge(SegmentAddress(0, 3))
+        empty = self._empty_response(challenge)
+        assert empty.jaccard_with(self._empty_response(challenge)) == 1.0
+        for threshold in (1.0, 0.5):
+            protocol = AuthenticationProtocol(
+                CODICSigPUF(module), acceptance_threshold=threshold
+            )
+            protocol._golden[challenge] = empty
+            assert protocol.authenticate(challenge, self._empty_response(challenge))
+
+    def test_empty_golden_rejects_nonempty_candidate(self, module):
+        puf = CODICSigPUF(module)
+        challenge = Challenge(SegmentAddress(0, 4))
+        nonempty = puf.evaluate(challenge)
+        assert len(nonempty) > 0
+        assert nonempty.jaccard_with(self._empty_response(challenge)) == 0.0
+        protocol = AuthenticationProtocol(puf, acceptance_threshold=0.5)
+        protocol._golden[challenge] = self._empty_response(challenge)
+        assert not protocol.authenticate(challenge, nonempty)
+
 
 class TestTimingModel:
     def test_table4_absolute_values(self):

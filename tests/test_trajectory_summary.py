@@ -1,0 +1,137 @@
+"""Tests for the stdlib trajectory summarizer (table and sparkline modes).
+
+``benchmarks/summarize_trajectory.py`` is deliberately package-free (it must
+run from a fresh checkout without ``PYTHONPATH``), so the tests load it by
+file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "summarize_trajectory.py"
+)
+
+
+@pytest.fixture(scope="module")
+def summarize():
+    spec = importlib.util.spec_from_file_location("summarize_trajectory", _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+SAMPLE = {
+    "workload": {"experiment": "fig5-quality"},
+    "unit": "pairs_per_second",
+    "entries": [
+        {
+            "label": "one",
+            "date": "2026-01-01",
+            "pairs": 60,
+            "pairs_per_second": {"scalar": {"CODIC": 100.0, "PreLat": 50.0}},
+        },
+        {
+            "label": "two",
+            "date": "2026-01-02",
+            "pairs": 120,
+            "pairs_per_second": {
+                "scalar": {"CODIC": 200.0, "PreLat": 50.0},
+                "batched": {"CODIC": 400.0},
+            },
+        },
+        {
+            "label": "three",
+            "date": "2026-01-03",
+            "pairs": 120,
+            "pairs_per_second": {
+                "scalar": {"CODIC": 300.0},
+                "batched": {"CODIC": 800.0},
+            },
+        },
+    ],
+}
+
+
+class TestSparkline:
+    def test_monotonic_series_spans_the_ramp(self, summarize):
+        line = summarize.sparkline([1.0, 2.0, 3.0, 4.0])
+        assert line[0] == summarize.SPARK_BLOCKS[0]
+        assert line[-1] == summarize.SPARK_BLOCKS[-1]
+        assert len(line) == 4
+
+    def test_flat_series_renders_mid_blocks(self, summarize):
+        line = summarize.sparkline([5.0, 5.0, 5.0])
+        assert line == summarize.SPARK_BLOCKS[4] * 3
+
+    def test_gaps_render_placeholders(self, summarize):
+        line = summarize.sparkline([None, 1.0, None, 9.0])
+        assert line[0] == summarize.SPARK_GAP
+        assert line[2] == summarize.SPARK_GAP
+        assert line[1] == summarize.SPARK_BLOCKS[0]
+        assert line[3] == summarize.SPARK_BLOCKS[-1]
+
+    def test_all_missing_series(self, summarize):
+        assert summarize.sparkline([None, None]) == summarize.SPARK_GAP * 2
+
+
+class TestSparklineRows:
+    def test_rows_cover_every_series_with_gaps(self, summarize):
+        headers, rows = summarize.sparkline_rows(SAMPLE)
+        assert headers == ["config", "PUF", "first", "last", "trend"]
+        by_series = {(row[0], row[1]): row for row in rows}
+        assert set(by_series) == {
+            ("scalar", "CODIC"),
+            ("scalar", "PreLat"),
+            ("batched", "CODIC"),
+        }
+        scalar_codic = by_series[("scalar", "CODIC")]
+        assert scalar_codic[2] == "100.0" and scalar_codic[3] == "300.0"
+        assert len(scalar_codic[4]) == 3  # one block per entry
+        # PreLat is absent from the last entry: its trend ends in a gap.
+        assert by_series[("scalar", "PreLat")][4][-1] == summarize.SPARK_GAP
+        # batched starts at entry two: its trend begins with a gap.
+        assert by_series[("batched", "CODIC")][4][0] == summarize.SPARK_GAP
+
+
+class TestMain:
+    def write_sample(self, tmp_path) -> Path:
+        path = tmp_path / "trajectory.json"
+        path.write_text(json.dumps(SAMPLE))
+        return path
+
+    def test_table_mode(self, summarize, tmp_path, capsys):
+        assert summarize.main(["--file", str(self.write_sample(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "pairs/sec trajectory" in out
+        assert "100.0" in out
+
+    def test_sparkline_mode(self, summarize, tmp_path, capsys):
+        code = summarize.main(
+            ["--file", str(self.write_sample(tmp_path)), "--sparkline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pairs/sec sparklines" in out
+        assert "trend" in out
+        assert any(block in out for block in summarize.SPARK_BLOCKS)
+
+    def test_missing_file_is_an_error(self, summarize, tmp_path, capsys):
+        assert summarize.main(["--file", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_trajectory(self, summarize, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"workload": {}, "entries": []}))
+        assert summarize.main(["--file", str(path), "--sparkline"]) == 0
+        assert "no entries" in capsys.readouterr().out
+
+    def test_committed_trajectory_renders(self, summarize, capsys):
+        # The repo's own BENCH_pair_kernels.json must stay renderable.
+        assert summarize.main([]) == 0
+        assert summarize.main(["--sparkline"]) == 0

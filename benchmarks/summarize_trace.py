@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Aggregate an NDJSON span trace (the ``--trace FILE`` output) as text.
+
+Two views over the records written by :mod:`repro.telemetry.spans`::
+
+    $ python benchmarks/summarize_trace.py run.trace
+    span time by (name, kind) -- 42 spans, 3 process(es)
+    name              kind    count  total_s  mean_ms   max_ms  share
+    ...
+
+    critical path (longest child chain from the longest root)
+    depth  span              duration_s  of parent
+    ...
+
+The *time table* groups every span by ``(name, kind)`` with count, total,
+mean, max, and the share of the trace's root duration -- the quickest answer
+to "where did the time go".  Because child spans nest inside their parents,
+shares do not sum to 100%: a ``job.run`` span contains its
+``fleet.auth_block`` children.
+
+The *critical path* starts from the longest root span (a span whose parent
+is absent from the trace -- e.g. ``cli.run``) and repeatedly descends into
+the largest child, printing each hop's share of its parent.  Worker spans
+carry the submitting process's span id as their parent, so the path crosses
+process boundaries.
+
+Pure stdlib on purpose: runs anywhere without ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Keys every record must carry (mirrors repro.telemetry.TRACE_RECORD_KEYS).
+RECORD_KEYS = ("span", "parent", "name", "kind", "pid", "ts", "duration_s", "labels")
+
+
+def load_trace(path: Path) -> list[dict]:
+    """Parse and validate every NDJSON record; raises ValueError on junk."""
+    records = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise ValueError(f"{path}:{number}: not valid JSON: {error}") from None
+        missing = [key for key in RECORD_KEYS if key not in record]
+        if missing:
+            raise ValueError(
+                f"{path}:{number}: record is missing key(s) {', '.join(missing)}"
+            )
+        records.append(record)
+    return records
+
+
+def time_table(records: list[dict]) -> tuple[list[str], list[list[str]]]:
+    """Per-(name, kind) aggregate rows, sorted by total time descending."""
+    groups: dict[tuple[str, str], list[float]] = {}
+    for record in records:
+        groups.setdefault((record["name"], record["kind"]), []).append(
+            float(record["duration_s"])
+        )
+    roots = root_spans(records)
+    base = max((float(r["duration_s"]) for r in roots), default=0.0)
+    headers = ["name", "kind", "count", "total_s", "mean_ms", "max_ms", "share"]
+    rows = []
+    for (name, kind), durations in sorted(
+        groups.items(), key=lambda item: -sum(item[1])
+    ):
+        total = sum(durations)
+        share = f"{100.0 * total / base:.1f}%" if base > 0 else "-"
+        rows.append(
+            [
+                name,
+                kind,
+                str(len(durations)),
+                f"{total:.4f}",
+                f"{1000.0 * total / len(durations):.3f}",
+                f"{1000.0 * max(durations):.3f}",
+                share,
+            ]
+        )
+    return headers, rows
+
+
+def root_spans(records: list[dict]) -> list[dict]:
+    """Spans whose parent is null or absent from the trace file."""
+    known = {record["span"] for record in records}
+    return [
+        record
+        for record in records
+        if record["parent"] is None or record["parent"] not in known
+    ]
+
+
+def critical_path(records: list[dict]) -> list[dict]:
+    """Longest root, then repeatedly the largest child (cross-process)."""
+    children: dict[str, list[dict]] = {}
+    for record in records:
+        if record["parent"] is not None:
+            children.setdefault(record["parent"], []).append(record)
+    roots = root_spans(records)
+    if not roots:
+        return []
+    path = [max(roots, key=lambda record: float(record["duration_s"]))]
+    while True:
+        below = children.get(path[-1]["span"], [])
+        if not below:
+            return path
+        path.append(max(below, key=lambda record: float(record["duration_s"])))
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table: first two columns left-aligned, the rest right."""
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        if rows
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+
+    def format_row(cells: list[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[column]) if column < 2 else cell.rjust(widths[column])
+            for column, cell in enumerate(cells)
+        ).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    return "\n".join([format_row(headers), separator] + [format_row(row) for row in rows])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize an NDJSON span trace: per-(name, kind) time "
+        "table plus the critical path."
+    )
+    parser.add_argument("trace", type=Path, metavar="FILE",
+                        help="NDJSON trace written by --trace")
+    args = parser.parse_args(argv)
+    try:
+        records = load_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 1
+    if not records:
+        print("trace is empty")
+        return 0
+
+    pids = {record["pid"] for record in records}
+    print(f"span time by (name, kind) -- {len(records)} span(s), {len(pids)} process(es)")
+    print(render_table(*time_table(records)))
+
+    path = critical_path(records)
+    print()
+    print("critical path (longest child chain from the longest root)")
+    headers = ["depth", "span", "duration_s", "of parent"]
+    rows = []
+    for depth, record in enumerate(path):
+        if depth == 0:
+            of_parent = "-"
+        else:
+            parent_duration = float(path[depth - 1]["duration_s"])
+            of_parent = (
+                f"{100.0 * float(record['duration_s']) / parent_duration:.1f}%"
+                if parent_duration > 0
+                else "-"
+            )
+        rows.append(
+            [
+                str(depth),
+                ("  " * depth) + record["name"],
+                f"{float(record['duration_s']):.4f}",
+                of_parent,
+            ]
+        )
+    print(render_table(headers, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Render the committed pairs/sec trajectory as a text table or sparklines.
+"""Render committed throughput trajectories as text tables or sparklines.
 
-Reads ``BENCH_pair_kernels.json`` at the repository root (or ``--file``) and
-prints one row per (entry, kernel-configuration) so the throughput trend
-across commits is visible at a glance::
+Reads the trajectory JSON files at the repository root -- by default both
+``BENCH_pair_kernels.json`` (pairs/sec) and ``BENCH_fleet.json`` (auths/sec),
+or one explicit ``--file`` -- and prints one row per (entry,
+kernel-configuration) so the throughput trend across commits is visible at a
+glance::
 
     $ python benchmarks/summarize_trajectory.py
     pairs/sec trajectory -- fig5-quality (unit: pairs_per_second)
     ...
+    auths/sec trajectory -- fleet-auth (unit: auths_per_second)
+    ...
+
+The rate series key is the file's own ``unit`` field (``pairs_per_second``,
+``auths_per_second``, ...), and the per-entry work count column is named by
+the file's ``count_key`` (default ``pairs``), so new trajectory files work
+without touching this script.
 
 ``--sparkline`` condenses the same data into one unicode block sparkline per
 (configuration, PUF) series -- one character per trajectory entry, oldest to
@@ -29,13 +38,32 @@ import json
 import sys
 from pathlib import Path
 
-DEFAULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_pair_kernels.json"
+#: Trajectory files rendered when no --file is given (missing ones skipped).
+DEFAULT_FILES = [
+    Path(__file__).resolve().parent.parent / "BENCH_pair_kernels.json",
+    Path(__file__).resolve().parent.parent / "BENCH_fleet.json",
+]
 
 #: Eight-level unicode block ramp used by the sparkline mode.
 SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 #: Placeholder for entries where a series has no recorded value.
 SPARK_GAP = "·"
+
+
+def rate_key(data: dict) -> str:
+    """Per-entry key holding the nested ``{config: {PUF: rate}}`` series."""
+    return data.get("unit", "pairs_per_second")
+
+
+def rate_label(data: dict) -> str:
+    """Human name of the rate: ``pairs_per_second`` -> ``pairs/sec``."""
+    return rate_key(data).split("_per_second")[0] + "/sec"
+
+
+def count_key(data: dict) -> str:
+    """Per-entry key holding the work count (``pairs``, ``requests``, ...)."""
+    return data.get("count_key", "pairs")
 
 
 def sparkline(values: "list[float | None]") -> str:
@@ -69,9 +97,10 @@ def sparkline_rows(data: dict) -> tuple[list[str], list[list[str]]]:
     character, so every sparkline has one block per trajectory entry.
     """
     entries = data.get("entries", [])
+    key = rate_key(data)
     series: dict[tuple[str, str], list[float | None]] = {}
     for position, entry in enumerate(entries):
-        for config, rates in entry.get("pairs_per_second", {}).items():
+        for config, rates in entry.get(key, {}).items():
             for puf, rate in rates.items():
                 values = series.setdefault((config, puf), [None] * len(entries))
                 values[position] = rate
@@ -97,22 +126,24 @@ def trajectory_rows(data: dict) -> tuple[list[str], list[list[str]]]:
     One row per (entry, configuration); PUF columns are the union of every
     PUF seen, in first-appearance order, so partial entries still line up.
     """
+    key = rate_key(data)
+    count = count_key(data)
     pufs: list[str] = []
     for entry in data.get("entries", []):
-        for rates in entry.get("pairs_per_second", {}).values():
+        for rates in entry.get(key, {}).values():
             for puf in rates:
                 if puf not in pufs:
                     pufs.append(puf)
-    headers = ["entry", "date", "config", "pairs"] + pufs
+    headers = ["entry", "date", "config", count] + pufs
     rows = []
     for entry in data.get("entries", []):
-        for config, rates in entry.get("pairs_per_second", {}).items():
+        for config, rates in entry.get(key, {}).items():
             rows.append(
                 [
                     entry.get("label", "?"),
                     entry.get("date", "?"),
                     config,
-                    str(entry.get("pairs", "?")),
+                    str(entry.get(count, "?")),
                 ]
                 + [
                     f"{rates[puf]:.1f}" if puf in rates else "-"
@@ -146,16 +177,45 @@ def render_table(
     return "\n".join([format_row(headers), separator] + [format_row(row) for row in rows])
 
 
+def render_file(path: Path, *, spark: bool) -> int:
+    """Render one trajectory file; returns an exit code."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"cannot read trajectory file {path}: {error}", file=sys.stderr)
+        return 1
+    workload = data.get("workload", {})
+    label = rate_label(data)
+    if spark:
+        print(
+            f"{label} sparklines -- {workload.get('experiment', '?')} "
+            "(one block per entry, oldest -> newest)"
+        )
+        headers, rows = sparkline_rows(data)
+    else:
+        print(
+            f"{label} trajectory -- {workload.get('experiment', '?')} "
+            f"(unit: {data.get('unit', '?')})"
+        )
+        headers, rows = trajectory_rows(data)
+    if not rows:
+        print("no entries recorded yet")
+        return 0
+    print(render_table(headers, rows, label_columns=2 if spark else 4))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Render the committed pairs/sec trajectory as a text table."
+        description="Render the committed throughput trajectories as text tables."
     )
     parser.add_argument(
         "--file",
         type=Path,
-        default=DEFAULT_FILE,
+        default=None,
         metavar="PATH",
-        help="trajectory JSON (default: BENCH_pair_kernels.json at the repo root)",
+        help="trajectory JSON (default: every committed BENCH_*.json "
+        "trajectory at the repo root)",
     )
     parser.add_argument(
         "--sparkline",
@@ -164,29 +224,18 @@ def main(argv: list[str] | None = None) -> int:
         "instead of the full table",
     )
     args = parser.parse_args(argv)
-    try:
-        data = json.loads(args.file.read_text())
-    except (OSError, ValueError) as error:
-        print(f"cannot read trajectory file {args.file}: {error}", file=sys.stderr)
+    if args.file is not None:
+        return render_file(args.file, spark=args.sparkline)
+    files = [path for path in DEFAULT_FILES if path.exists()]
+    if not files:
+        print("no committed trajectory files found", file=sys.stderr)
         return 1
-    workload = data.get("workload", {})
-    if args.sparkline:
-        print(
-            f"pairs/sec sparklines -- {workload.get('experiment', '?')} "
-            "(one block per entry, oldest -> newest)"
-        )
-        headers, rows = sparkline_rows(data)
-    else:
-        print(
-            f"pairs/sec trajectory -- {workload.get('experiment', '?')} "
-            f"(unit: {data.get('unit', '?')})"
-        )
-        headers, rows = trajectory_rows(data)
-    if not rows:
-        print("no entries recorded yet")
-        return 0
-    print(render_table(headers, rows, label_columns=2 if args.sparkline else 4))
-    return 0
+    code = 0
+    for position, path in enumerate(files):
+        if position:
+            print()
+        code = max(code, render_file(path, spark=args.sparkline))
+    return code
 
 
 if __name__ == "__main__":

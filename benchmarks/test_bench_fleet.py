@@ -13,8 +13,11 @@ Two measurements of the fleet subsystem:
   must come back in well under 0.2 s.
 
 Each run writes a ``bench-fleet.json`` record at the repository root
-(uploaded as a CI artifact; gitignored).  ``REPRO_BENCH_SMOKE=1`` shrinks
-the request counts so CI can run the whole harness quickly.
+(uploaded as a CI artifact; gitignored) in the ``BENCH_fleet.json`` entry
+schema, so a record can be appended to the committed trajectory verbatim --
+plus p50/p95/p99 per-auth latency from one telemetry-enabled replay.
+``REPRO_BENCH_SMOKE=1`` shrinks the request counts so CI can run the whole
+harness quickly.
 """
 
 from __future__ import annotations
@@ -115,15 +118,39 @@ def test_bench_fleet_daemon_warm(run_once, benchmark, tmp_path):
         stop_daemon(socket_path)
 
 
+def _auth_latency_percentiles() -> dict[str, object]:
+    """p50/p95/p99 per-auth latency of one telemetry-enabled CODIC replay."""
+    from repro import telemetry
+
+    was_collecting = telemetry.collection_enabled()
+    telemetry.enable_collection()
+    histogram = telemetry.registry().histogram(telemetry.FLEET_AUTH_SECONDS)
+    before = telemetry.Histogram.from_dict(histogram.to_dict())
+    try:
+        _traffic_job("CODIC-sig PUF").run()
+    finally:
+        if not was_collecting:
+            telemetry.disable_collection()
+    return telemetry.percentiles_ms(histogram.subtract(before))
+
+
 def test_bench_fleet_artifact():
-    """Write the fleet benchmark record (re-measuring if run standalone)."""
+    """Write the fleet benchmark record (re-measuring if run standalone).
+
+    The record uses the committed ``BENCH_fleet.json`` entry schema (nested
+    ``auths_per_second`` keyed by configuration) so it can be appended to
+    the trajectory verbatim.
+    """
     entry = {
         "label": "ci" if _smoke() else "local",
         "smoke": _smoke(),
         "devices": FLEET_DEVICES,
         "requests": _requests(),
-        "auths_per_second": _MEASURED.get("auths_per_second")
-        or {k: round(v, 1) for k, v in _auth_rates().items()},
+        "auths_per_second": {
+            "direct": _MEASURED.get("auths_per_second")
+            or {k: round(v, 1) for k, v in _auth_rates().items()},
+        },
+        "auth_latency_ms": _auth_latency_percentiles(),
     }
     for key in ("cold_request_s", "warm_request_s"):
         if key in _MEASURED:

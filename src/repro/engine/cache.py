@@ -29,8 +29,15 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro import telemetry
 from repro.engine.jobs import Job
 from repro.engine.serialization import canonical_json
+
+
+def _count(name: str, amount: int = 1) -> None:
+    """Bump a global telemetry counter when collection is on (else free)."""
+    if telemetry.collection_enabled():
+        telemetry.registry().counter(name).inc(amount)
 
 #: Default cache location; overridable via the CLI or this environment variable.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -124,11 +131,14 @@ class ResultCache:
             value = job.decode(entry["payload"])
         except OSError:
             self.stats.misses += 1
+            _count(telemetry.CACHE_MISSES)
             return None
         except (ValueError, KeyError, TypeError):
             self.stats.misses += 1
+            _count(telemetry.CACHE_MISSES)
             try:
                 path.unlink()  # evict the bad blob instead of leaving it
+                _count(telemetry.CACHE_EVICTIONS)
             except OSError:
                 pass
             return None
@@ -137,6 +147,7 @@ class ResultCache:
         except OSError:
             pass
         self.stats.hits += 1
+        _count(telemetry.CACHE_HITS)
         return value
 
     def put(self, job: Job, result: Any) -> Path:
@@ -155,6 +166,7 @@ class ResultCache:
         tmp.write_text(json.dumps(entry, indent=2, sort_keys=True))
         os.replace(tmp, path)
         self.stats.stores += 1
+        _count(telemetry.CACHE_STORES)
         return path
 
     def invalidate(self, job: Job) -> bool:
@@ -215,6 +227,7 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 continue
+            _count(telemetry.CACHE_EVICTIONS)
             total -= size
             freed += size
             removed += 1

@@ -20,8 +20,16 @@ line (so consumers can pre-allocate and corrupt streams fail loudly)::
 Requests (client -> daemon): ``submit`` (experiment ids + quick/shard_size;
 the daemon answers with one ``event`` frame per
 :class:`~repro.engine.executor.JobEvent` as shards land, then a ``done``
-frame carrying per-request cache stats), ``status``, ``ping``, and
-``shutdown``.  Error responses are ``{"type": "error", "message": ...}``.
+frame carrying per-request cache stats), ``fleet`` (one fleet traffic job
+config; same event stream, done frame additionally carries this request's
+auth-latency histogram), ``metrics`` (Prometheus text exposition of the
+daemon's telemetry registry), ``status``, ``ping``, and ``shutdown``.
+Error responses are ``{"type": "error", "message": ...}``.
+
+The daemon always runs with telemetry collection enabled: work requests
+(``submit``/``fleet``) are timed into the ``daemon_request_seconds``
+histogram and classified warm (every terminal outcome served from cache)
+vs cold, and ``status`` embeds a full metrics snapshot.
 
 The CLI degrades gracefully: when no daemon is listening on the socket
 (``$REPRO_DAEMON_SOCKET`` or the per-user default), execution happens
@@ -45,6 +53,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, BinaryIO, Iterator
 
+from repro import telemetry
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.jobs import ExperimentJob
 from repro.engine.sharding import iter_sharded
@@ -208,8 +217,15 @@ class _Handler(socketserver.StreamRequestHandler):
                 self._send({"type": "pong", "v": PROTOCOL_VERSION, "pid": os.getpid()})
             elif op == "status":
                 self._send({"type": "status", **daemon.status()})
-            elif op == "submit":
-                self._handle_submit(daemon, request)
+            elif op == "metrics":
+                self._send(
+                    {
+                        "type": "metrics",
+                        "text": telemetry.registry().render_prometheus(),
+                    }
+                )
+            elif op in ("submit", "fleet"):
+                self._handle_work(daemon, request, op)
             elif op == "shutdown":
                 self._send({"type": "ok", "pid": os.getpid()})
                 daemon.request_shutdown()
@@ -220,32 +236,54 @@ class _Handler(socketserver.StreamRequestHandler):
         except Exception:
             self._send({"type": "error", "message": traceback.format_exc()})
 
+    def _handle_work(
+        self, daemon: "ExperimentDaemon", request: dict[str, Any], op: str
+    ) -> None:
+        """Run one work request under a span with warm/cold classification.
+
+        A request is *warm* when every terminal outcome was served from
+        cache (the pool never ran -- the handler's done payload reports zero
+        misses); refused requests (bad arguments, stale code version) count
+        as neither.  The handlers return the ``done`` frame instead of
+        sending it so every metric is updated *before* the client sees the
+        request complete -- a ``status`` issued right after ``done`` must
+        already include this request.
+        """
+        reg = telemetry.registry()
+        reg.counter(telemetry.DAEMON_REQUESTS).inc()
+        start = time.perf_counter()
+        with telemetry.span("daemon.request", kind="daemon", op=op):
+            if op == "submit":
+                done = self._handle_submit(daemon, request)
+            else:
+                done = self._handle_fleet(daemon, request)
+        reg.histogram(telemetry.DAEMON_REQUEST_SECONDS).observe(
+            time.perf_counter() - start
+        )
+        if done is not None:
+            reg.counter(
+                telemetry.DAEMON_REQUESTS_WARM
+                if done["misses"] == 0
+                else telemetry.DAEMON_REQUESTS_COLD
+            ).inc()
+            self._send(done)
+
     def _send(self, message: dict[str, Any]) -> None:
         try:
             send_frame(self.wfile, message)
         except (BrokenPipeError, ConnectionResetError, OSError):
             pass
 
-    def _handle_submit(self, daemon: "ExperimentDaemon", request: dict[str, Any]) -> None:
-        from repro.experiments.registry import EXPERIMENTS
-
-        experiments = request.get("experiments") or []
-        unknown = [eid for eid in experiments if eid not in EXPERIMENTS]
-        if not experiments or unknown:
-            self._send(
-                {
-                    "type": "error",
-                    "message": f"unknown experiment(s): {', '.join(unknown)}"
-                    if unknown
-                    else "submit requires a non-empty experiments list",
-                }
-            )
-            return
-        quick = bool(request.get("quick", True))
+    def _check_shard_size(self, request: dict[str, Any]) -> bool:
         shard_size = request.get("shard_size")
         if shard_size is not None and (not isinstance(shard_size, int) or shard_size <= 0):
             self._send({"type": "error", "message": "shard_size must be a positive int"})
-            return
+            return False
+        return True
+
+    def _check_code_version(
+        self, daemon: "ExperimentDaemon", request: dict[str, Any]
+    ) -> bool:
         # A client built from edited sources must not be served results (or
         # computations) from the daemon's stale code: refuse so the caller
         # can fall back inline and the operator can restart the daemon.
@@ -261,14 +299,41 @@ class _Handler(socketserver.StreamRequestHandler):
                     "daemon_code_version": daemon_version,
                 }
             )
-            return
+            return False
+        return True
+
+    def _handle_submit(
+        self, daemon: "ExperimentDaemon", request: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        """Stream one submit request's events; returns the unsent done frame
+        (``None`` when the request was refused and an error/stale frame
+        already went out)."""
+        from repro.experiments.registry import EXPERIMENTS
+
+        experiments = request.get("experiments") or []
+        unknown = [eid for eid in experiments if eid not in EXPERIMENTS]
+        if not experiments or unknown:
+            self._send(
+                {
+                    "type": "error",
+                    "message": f"unknown experiment(s): {', '.join(unknown)}"
+                    if unknown
+                    else "submit requires a non-empty experiments list",
+                }
+            )
+            return None
+        quick = bool(request.get("quick", True))
+        if not self._check_shard_size(request):
+            return None
+        if not self._check_code_version(daemon, request):
+            return None
         jobs = [ExperimentJob(eid, quick=quick) for eid in experiments]
         roots = {id(job) for job in jobs}
         memory0 = daemon.cache.memory_hits
         served = computed = 0
         for event in iter_sharded(
             jobs,
-            shard_size=shard_size,
+            shard_size=request.get("shard_size"),
             workers=daemon.workers,
             cache=daemon.cache,
             fail_fast=bool(request.get("fail_fast", True)),
@@ -293,14 +358,76 @@ class _Handler(socketserver.StreamRequestHandler):
         # hits/misses are derived from this request's own events (exact even
         # under concurrent submits); memory_hits is a global-counter delta and
         # therefore only attributable when requests do not overlap.
-        self._send(
-            {
-                "type": "done",
-                "hits": served,
-                "misses": computed,
-                "memory_hits": daemon.cache.memory_hits - memory0,
-            }
-        )
+        return {
+            "type": "done",
+            "hits": served,
+            "misses": computed,
+            "memory_hits": daemon.cache.memory_hits - memory0,
+        }
+
+    def _handle_fleet(
+        self, daemon: "ExperimentDaemon", request: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        """Run one fleet traffic job, streaming events; returns the unsent
+        ``done`` frame (``None`` on refusal).
+
+        The done frame carries this request's per-auth latency histogram --
+        the delta of the daemon registry's ``fleet_auth_request_seconds``
+        across the run (exact bucket arithmetic; like ``memory_hits`` it is
+        only attributable to one request while requests do not overlap).  A
+        warm (fully cached) request computes nothing, so its latency
+        histogram is empty.
+        """
+        from repro.engine.jobs import FleetTrafficJob
+
+        config = request.get("job")
+        if not isinstance(config, dict):
+            self._send({"type": "error", "message": "fleet requires a job config object"})
+            return None
+        if not self._check_shard_size(request):
+            return None
+        if not self._check_code_version(daemon, request):
+            return None
+        try:
+            job = FleetTrafficJob(**config)
+        except (TypeError, ValueError) as error:
+            self._send({"type": "error", "message": f"bad fleet job config: {error}"})
+            return None
+        reg = telemetry.registry()
+        auth_latency = reg.histogram(telemetry.FLEET_AUTH_SECONDS)
+        before = telemetry.Histogram.from_dict(auth_latency.to_dict())
+        start = time.perf_counter()
+        served = computed = 0
+        for event in iter_sharded(
+            [job],
+            shard_size=request.get("shard_size"),
+            workers=daemon.workers,
+            cache=daemon.cache,
+            fail_fast=True,
+            pool=daemon.pool,
+        ):
+            if event.terminal:
+                daemon.count_job()
+                if event.outcome is not None and event.outcome.cached:
+                    served += 1
+                else:
+                    computed += 1
+            include_value = (
+                event.terminal
+                and event.job is job
+                and event.outcome is not None
+                and event.outcome.ok
+            )
+            self._send(
+                {"type": "event", "event": event.to_dict(include_value=include_value)}
+            )
+        return {
+            "type": "done",
+            "hits": served,
+            "misses": computed,
+            "elapsed_s": round(time.perf_counter() - start, 6),
+            "latency": auth_latency.subtract(before).to_dict(),
+        }
 
 
 if hasattr(socketserver, "ThreadingUnixStreamServer"):
@@ -325,6 +452,7 @@ class ExperimentDaemon:
         socket_path: str | Path | None = None,
         cache_dir: str | Path | None = None,
         workers: int = 2,
+        trace: str | Path | None = None,
     ):
         self.socket_path = Path(socket_path) if socket_path else default_socket_path()
         self.cache = MemoryIndexCache(
@@ -337,6 +465,13 @@ class ExperimentDaemon:
         self.jobs_completed = 0
         self._counters_lock = threading.Lock()
         self._server: _Server | None = None
+        # A service measures itself: collection is always on in the daemon
+        # (the cost is a few counter bumps per request, and status/metrics
+        # frames are only meaningful with data behind them).
+        telemetry.enable_collection()
+        self.trace_path = Path(trace) if trace else None
+        if self.trace_path is not None:
+            telemetry.enable_tracing(telemetry.TraceWriter(self.trace_path))
 
     def count_request(self) -> None:
         with self._counters_lock:
@@ -360,6 +495,7 @@ class ExperimentDaemon:
             "memory_hits": self.cache.memory_hits,
             "disk_hits": self.cache.disk_hits,
             "disk_misses": self.cache.stats.misses,
+            "metrics": telemetry.registry().snapshot(),
         }
 
     def request_shutdown(self) -> None:
@@ -476,6 +612,46 @@ class DaemonClient:
         except OSError as error:
             raise DaemonError(f"daemon connection failed: {error}") from None
 
+    def fleet(
+        self,
+        job_config: dict[str, Any],
+        *,
+        shard_size: int | None = None,
+        code_version: str | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Submit one fleet traffic job config; yield ``event`` frames then
+        the ``done`` frame (which carries the request's auth-latency
+        histogram).  Staleness semantics match :meth:`submit`.
+        """
+        try:
+            with self._connect() as sock, sock.makefile("rwb") as stream:
+                send_frame(
+                    stream,
+                    {
+                        "v": PROTOCOL_VERSION,
+                        "op": "fleet",
+                        "job": dict(job_config),
+                        "shard_size": shard_size,
+                        "code_version": code_version,
+                    },
+                )
+                while True:
+                    frame = recv_frame(stream)
+                    if frame is None:
+                        raise DaemonError("daemon stream ended before the done frame")
+                    yield frame
+                    if frame.get("type") in ("done", "error", "stale"):
+                        return
+        except OSError as error:
+            raise DaemonError(f"daemon connection failed: {error}") from None
+
+    def metrics(self) -> str:
+        """Prometheus text exposition of the daemon's metrics registry."""
+        response = self.request({"op": "metrics"})
+        if response.get("type") != "metrics":
+            raise DaemonError(f"unexpected metrics response: {response}")
+        return response.get("text", "")
+
     def ping(self) -> dict[str, Any]:
         return self.request({"op": "ping"})
 
@@ -498,6 +674,7 @@ def start_daemon(
     cache_dir: str | Path | None = None,
     workers: int = 2,
     wait_s: float = 30.0,
+    trace: str | Path | None = None,
 ) -> int:
     """Spawn a detached daemon process and wait until it answers pings.
 
@@ -521,6 +698,8 @@ def start_daemon(
     ]
     if cache_dir is not None:
         argv += ["--cache-dir", str(cache_dir)]
+    if trace is not None:
+        argv += ["--trace", str(trace)]
     env = os.environ.copy()
     # Make the package importable in the child even when the parent runs off
     # a PYTHONPATH the service manager would not inherit.

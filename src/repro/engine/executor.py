@@ -26,6 +26,7 @@ from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, w
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
+from repro import telemetry
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import Job
 
@@ -146,6 +147,48 @@ def _execute(job: Job) -> tuple[Any, float]:
     return value, time.perf_counter() - start
 
 
+def _span_labels(job: Job) -> dict[str, Any]:
+    """JSON-safe span labels locating one job."""
+    labels: dict[str, Any] = {"job": job.job_id, "job_kind": job.kind}
+    shard = job.shard_range()
+    if shard is not None:
+        labels["shard"] = list(shard)
+    return labels
+
+
+def _execute_collected(
+    job: Job, parent_span: str | None, submitted_ts: float | None, trace: bool
+) -> tuple[Any, float, list[dict[str, Any]], dict[str, Any]]:
+    """Pool-worker entry with telemetry: run the job under a span, measure
+    queue wait, and ship the spans + the worker registry's per-job metric
+    delta back alongside the result.
+
+    The worker's registry is drained after every job, so the returned
+    snapshot is exactly this job's contribution; the parent folds it into
+    its own registry (:meth:`repro.telemetry.MetricsRegistry.merge_snapshot`)
+    -- shard-local histograms merge exactly by construction.  Worker spans
+    parent onto the submitting process's active span (``parent_span``), so
+    the trace is one tree across the pool.
+    """
+    telemetry.enable_collection()
+    if trace and not telemetry.tracing_active():
+        telemetry.enable_tracing(telemetry.SpanBuffer())
+    reg = telemetry.registry()
+    # A forked worker inherits the submitting process's registry contents;
+    # start this job's delta from empty (the trailing drain() keeps it empty
+    # between jobs, so this only discards inherited state, never real data).
+    reg.reset()
+    labels = _span_labels(job)
+    if submitted_ts is not None:
+        queue_wait = max(0.0, time.time() - submitted_ts)
+        reg.histogram(telemetry.ENGINE_QUEUE_WAIT_SECONDS).observe(queue_wait)
+        labels["queue_wait_s"] = round(queue_wait, 6)
+    with telemetry.span("job.run", kind="engine", parent=parent_span, **labels):
+        value, duration = _execute(job)
+    reg.histogram(telemetry.ENGINE_RUN_SECONDS).observe(duration)
+    return value, duration, telemetry.drain_worker_spans(), reg.drain()
+
+
 def iter_jobs(
     jobs: Sequence[Job],
     *,
@@ -173,12 +216,21 @@ def iter_jobs(
     """
     jobs = list(jobs)
     total = len(jobs)
+    # Telemetry is decided once per stream: when collection/tracing is off,
+    # execution takes exactly the legacy path (no clock reads, no counter
+    # updates, the plain _execute worker entry).
+    collecting = telemetry.collection_enabled() or telemetry.tracing_active()
+    reg = telemetry.registry() if collecting else None
+    if reg is not None:
+        reg.counter(telemetry.ENGINE_JOBS_SCHEDULED).inc(total)
 
     pending: list[int] = []
     for index, job in enumerate(jobs):
         yield JobEvent(SCHEDULED, job, index, total)
         value = cache.get(job) if cache is not None else None
         if value is not None:
+            if reg is not None:
+                reg.counter(telemetry.ENGINE_JOBS_CACHED).inc()
             outcome = JobOutcome(job=job, value=value, cached=True)
             yield JobEvent(CACHED, job, index, total, outcome)
         else:
@@ -190,7 +242,12 @@ def iter_jobs(
         for index in pending:
             job = jobs[index]
             yield JobEvent(STARTED, job, index, total)
-            outcome = _run_one(job, cache)
+            outcome = _run_one(job, cache, collecting=collecting)
+            if reg is not None:
+                reg.counter(
+                    telemetry.ENGINE_JOBS_FINISHED if outcome.ok
+                    else telemetry.ENGINE_JOBS_FAILED
+                ).inc()
             kind = FINISHED if outcome.ok else FAILED
             yield JobEvent(kind, job, index, total, outcome)
             if not outcome.ok and fail_fast:
@@ -203,8 +260,16 @@ def iter_jobs(
     )
     try:
         futures = {}
+        parent_span = telemetry.current_span_id() if collecting else None
+        trace = collecting and telemetry.tracing_active()
         for index in pending:
-            futures[executor.submit(_execute, jobs[index])] = index
+            if collecting:
+                future = executor.submit(
+                    _execute_collected, jobs[index], parent_span, time.time(), trace
+                )
+            else:
+                future = executor.submit(_execute, jobs[index])
+            futures[future] = index
             yield JobEvent(STARTED, jobs[index], index, total)
         failed = False
         while futures:
@@ -215,12 +280,21 @@ def iter_jobs(
                 if future.cancelled():
                     continue
                 try:
-                    value, duration = future.result()
+                    result = future.result()
                 except Exception:
                     failed = True
+                    if reg is not None:
+                        reg.counter(telemetry.ENGINE_JOBS_FAILED).inc()
                     outcome = JobOutcome(job=job, error=traceback.format_exc())
                     yield JobEvent(FAILED, job, index, total, outcome)
                     continue
+                if collecting:
+                    value, duration, spans, delta = result
+                    telemetry.write_records(spans)
+                    reg.merge_snapshot(delta)
+                    reg.counter(telemetry.ENGINE_JOBS_FINISHED).inc()
+                else:
+                    value, duration = result
                 if cache is not None:
                     cache.put(job, value)
                 outcome = JobOutcome(job=job, value=value, duration_s=duration)
@@ -272,10 +346,24 @@ def run_jobs(
     return [outcome for outcome in outcomes if outcome is not None]
 
 
-def _run_one(job: Job, cache: ResultCache | None) -> JobOutcome:
-    """Execute one job inline, storing the result in the cache on success."""
+def _run_one(
+    job: Job, cache: ResultCache | None, *, collecting: bool = False
+) -> JobOutcome:
+    """Execute one job inline, storing the result in the cache on success.
+
+    With ``collecting`` the run is wrapped in a ``job.run`` span and its
+    duration lands in the run-seconds histogram -- recorded directly into
+    this process's registry (no worker round-trip needed inline).
+    """
     try:
-        value, duration = _execute(job)
+        if collecting:
+            with telemetry.span("job.run", kind="engine", **_span_labels(job)):
+                value, duration = _execute(job)
+            telemetry.registry().histogram(telemetry.ENGINE_RUN_SECONDS).observe(
+                duration
+            )
+        else:
+            value, duration = _execute(job)
     except Exception:
         return JobOutcome(job=job, error=traceback.format_exc())
     if cache is not None:

@@ -33,10 +33,12 @@ Cache interaction:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro import telemetry
 from repro.engine.cache import ResultCache
 from repro.engine.executor import (
     CACHED,
@@ -92,7 +94,22 @@ def _merge_outcome(node: _Node, cache: ResultCache | None) -> JobOutcome:
             f"[{outcome.job.job_id}] {outcome.error}" for outcome in failures
         )
         return JobOutcome(job=node.job, error=errors)
-    value = node.job.merge([outcome.value for outcome in child_outcomes])
+    if telemetry.collection_enabled() or telemetry.tracing_active():
+        with telemetry.span(
+            "job.merge",
+            kind="engine",
+            job=node.job.job_id,
+            job_kind=node.job.kind,
+            children=len(child_outcomes),
+        ):
+            start = time.perf_counter()
+            value = node.job.merge([outcome.value for outcome in child_outcomes])
+            elapsed = time.perf_counter() - start
+        reg = telemetry.registry()
+        reg.counter(telemetry.ENGINE_MERGES).inc()
+        reg.histogram(telemetry.ENGINE_MERGE_SECONDS).observe(elapsed)
+    else:
+        value = node.job.merge([outcome.value for outcome in child_outcomes])
     if cache is not None:
         cache.put(node.job, value)
     return JobOutcome(

@@ -54,6 +54,7 @@ import argparse
 import json
 import sys
 
+from repro import telemetry
 from repro.engine import (
     CacheStats,
     DaemonClient,
@@ -147,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-daemon",
         action="store_true",
         help="never route execution through a running warm daemon",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="append one NDJSON span record per timed region to FILE "
+        "(forces inline execution so spans cover this process and its "
+        "workers); summarize with benchmarks/summarize_trace.py",
     )
     return parser
 
@@ -315,15 +324,70 @@ def _cache_prune_main(argv: list[str]) -> int:
     return 0
 
 
+def _fleet_via_daemon(
+    job, shard_size: int | None
+) -> tuple[dict, "telemetry.Histogram"] | None:
+    """Route one fleet job through a live daemon.
+
+    Returns ``(encoded_value, latency_histogram)`` on success, or ``None``
+    when the run must happen inline instead (no daemon, stale daemon, a
+    daemon too old to know the ``fleet`` op, or a stream that died).
+    Falling back is always safe here: nothing reaches stdout until the
+    daemon's ``done`` frame has been fully consumed.
+    """
+    client = DaemonClient()
+    if not client.is_running():
+        return None
+    print(f"daemon: routing via {client.socket_path}", file=sys.stderr)
+    value: dict | None = None
+    try:
+        for frame in client.fleet(
+            job.config, shard_size=shard_size, code_version=source_fingerprint()
+        ):
+            kind = frame.get("type")
+            if kind == "event":
+                if "value" in frame.get("event", {}):
+                    value = frame["event"]["value"]
+            elif kind == "stale":
+                print(
+                    f"daemon: {frame.get('message')}; running inline",
+                    file=sys.stderr,
+                )
+                return None
+            elif kind == "error":
+                # e.g. a daemon from before the fleet op; nothing has been
+                # printed on stdout yet, so inline execution is still safe.
+                print(
+                    f"daemon: {frame.get('message')}; running inline",
+                    file=sys.stderr,
+                )
+                return None
+            elif kind == "done":
+                if value is None:
+                    print(
+                        "daemon: stream ended without a result; running inline",
+                        file=sys.stderr,
+                    )
+                    return None
+                return value, telemetry.Histogram.from_dict(frame["latency"])
+    except DaemonError as error:
+        print(f"daemon stream failed ({error}); running inline", file=sys.stderr)
+        return None
+    return None
+
+
 def _fleet_main(argv: list[str]) -> int:
     """``fleet`` subcommand: one ad-hoc fleet authentication traffic run.
 
     Provisions a device fleet, replays a deterministic mixed
     genuine/impostor request stream against it (optionally sharded across
     worker processes -- results are bit-identical for any ``--jobs`` /
-    ``--shard-size``) and reports FAR/FRR at the given acceptance threshold.
-    Wall-clock throughput (auths/sec) is reported on stderr so ``--json``
-    stdout stays deterministic.
+    ``--shard-size``, and identical inline or through a warm daemon) and
+    reports FAR/FRR at the given acceptance threshold plus service-grade
+    latency: auths/sec throughput and p50/p95/p99 per-request latency from
+    the fleet auth histogram.  In ``--json`` those wall-clock readings live
+    under the volatile ``elapsed_seconds``/``auths_per_second``/``latency``
+    keys; every other field is deterministic.
     """
     import time
 
@@ -368,6 +432,11 @@ def _fleet_main(argv: list[str]) -> int:
                         help="split the stream into request blocks of N")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit one JSON document on stdout")
+    parser.add_argument("--no-daemon", action="store_true",
+                        help="never route the run through a warm daemon")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="append NDJSON span records to FILE (forces "
+                        "inline execution)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be a positive worker count", file=sys.stderr)
@@ -410,30 +479,90 @@ def _fleet_main(argv: list[str]) -> int:
     shard_size = args.shard_size
     if shard_size is None and args.jobs > 1:
         shard_size = -(-args.requests // args.jobs)
-    start = time.perf_counter()
-    outcome = run_sharded(
-        [job], shard_size=shard_size, workers=args.jobs, cache=None
-    )[0]
-    elapsed = time.perf_counter() - start
-    summary = TrafficSummary.from_payload(outcome.value)
+
+    # Latency collection is always on for the fleet CLI (it *is* the
+    # service-grade report); the per-request delta of the shared histogram
+    # attributes this run's observations even when earlier runs in the same
+    # process already recorded some.
+    was_collecting = telemetry.collection_enabled()
+    telemetry.enable_collection()
+    trace_writer: telemetry.TraceWriter | None = None
+    if args.trace is not None:
+        trace_writer = telemetry.TraceWriter(args.trace)
+        telemetry.enable_tracing(trace_writer)
+    try:
+        start = time.perf_counter()
+        routed = None
+        if not args.no_daemon and args.trace is None:
+            try:
+                routed = _fleet_via_daemon(job, shard_size)
+            except DaemonError as error:
+                # e.g. a tampered default socket directory -- never trust it,
+                # but the run itself still proceeds inline.
+                print(f"daemon unavailable ({error}); running inline", file=sys.stderr)
+        if routed is not None:
+            payload, latency = routed
+            value = job.decode(payload)
+        else:
+            reg = telemetry.registry()
+            auth_latency = reg.histogram(telemetry.FLEET_AUTH_SECONDS)
+            before = telemetry.Histogram.from_dict(auth_latency.to_dict())
+            with telemetry.span("fleet.request", kind="fleet", requests=args.requests):
+                value = run_sharded(
+                    [job], shard_size=shard_size, workers=args.jobs, cache=None
+                )[0].value
+            latency = auth_latency.subtract(before)
+        elapsed = time.perf_counter() - start
+    finally:
+        if trace_writer is not None:
+            telemetry.disable_tracing()
+            trace_writer.close()
+        if not was_collecting:
+            telemetry.disable_collection()
+
+    summary = TrafficSummary.from_payload(value)
+    percentiles = telemetry.percentiles_ms(latency)
     print(
         f"fleet: {args.requests} auths in {elapsed:.3f}s "
         f"({args.requests / elapsed:,.0f} auths/sec, {args.jobs} worker(s))",
         file=sys.stderr,
     )
+    if percentiles["count"]:
+        print(
+            f"fleet: auth latency p50 {percentiles['p50_ms']:.3f} ms, "
+            f"p95 {percentiles['p95_ms']:.3f} ms, "
+            f"p99 {percentiles['p99_ms']:.3f} ms "
+            f"({percentiles['count']} measured)",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "fleet: auth latency n/a (request served from the daemon cache)",
+            file=sys.stderr,
+        )
     document = {
         "config": job.config,
         "threshold": args.threshold,
+        "requests": args.requests,
         "genuine_trials": summary.genuine_trials,
         "impostor_trials": summary.impostor_trials,
         "frr": summary.frr(args.threshold),
         "far": summary.far(args.threshold),
         "genuine_mean_jaccard": round(summary.genuine_mean(), 6),
         "impostor_mean_jaccard": round(summary.impostor_mean(), 6),
+        # Volatile wall-clock readings -- strip these three keys (and only
+        # these) before comparing fleet JSON across runs or execution modes.
+        "elapsed_seconds": round(elapsed, 6),
+        "auths_per_second": round(args.requests / elapsed, 3) if elapsed > 0 else None,
+        "latency": percentiles,
     }
     if args.as_json:
         print(json.dumps(document, indent=2))
         return 0
+
+    def _ms(key: str) -> str:
+        return f"{percentiles[key]:.3f}" if percentiles[key] is not None else "n/a"
+
     rows = [
         ["devices", args.devices],
         ["requests", args.requests],
@@ -445,6 +574,10 @@ def _fleet_main(argv: list[str]) -> int:
         ["FAR (%)", round(summary.far(args.threshold) * 100.0, 2)],
         ["genuine mean Jaccard", round(summary.genuine_mean(), 4)],
         ["impostor mean Jaccard", round(summary.impostor_mean(), 4)],
+        ["auths/sec", f"{args.requests / elapsed:,.0f}"],
+        ["auth latency p50 (ms)", _ms("p50_ms")],
+        ["auth latency p95 (ms)", _ms("p95_ms")],
+        ["auth latency p99 (ms)", _ms("p99_ms")],
     ]
     print(render_table(["Metric", "Value"], rows, title="fleet authentication"))
     return 0
@@ -458,7 +591,7 @@ def _daemon_main(argv: list[str]) -> int:
         "pool + in-memory result index over a unix socket).",
     )
     sub = parser.add_subparsers(dest="action", required=True)
-    for action in ("start", "stop", "status", "run"):
+    for action in ("start", "stop", "status", "metrics", "run"):
         sp = sub.add_parser(action)
         sp.add_argument(
             "--socket",
@@ -482,6 +615,13 @@ def _daemon_main(argv: list[str]) -> int:
                 metavar="N",
                 help="persistent worker processes (default: 2)",
             )
+            sp.add_argument(
+                "--trace",
+                default=None,
+                metavar="FILE",
+                help="append one NDJSON span record per daemon-side timed "
+                "region to FILE",
+            )
     args = parser.parse_args(argv)
     if args.action in ("start", "run") and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
@@ -490,7 +630,10 @@ def _daemon_main(argv: list[str]) -> int:
         socket_path = args.socket or default_socket_path()
         if args.action == "start":
             pid = start_daemon(
-                socket_path, cache_dir=args.cache_dir, workers=args.workers
+                socket_path,
+                cache_dir=args.cache_dir,
+                workers=args.workers,
+                trace=args.trace,
             )
             print(f"daemon started (pid {pid}, socket {socket_path})")
             return 0
@@ -504,9 +647,16 @@ def _daemon_main(argv: list[str]) -> int:
             client = DaemonClient(socket_path)
             print(json.dumps(client.status(), indent=2, sort_keys=True))
             return 0
+        if args.action == "metrics":
+            client = DaemonClient(socket_path)
+            print(client.metrics(), end="")
+            return 0
         # "run": serve in the foreground (what `daemon start` spawns).
         ExperimentDaemon(
-            socket_path, cache_dir=args.cache_dir, workers=args.workers
+            socket_path,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            trace=args.trace,
         ).serve_forever()
         return 0
     except DaemonError as error:
@@ -552,12 +702,14 @@ def main(argv: list[str] | None = None) -> int:
     # A live daemon owns its own cache (memory index over its disk store), so
     # only route through it when this invocation does not pin or manage a
     # local cache (--cache-dir/--no-cache/--cache-max-mb stay inline).
+    # --trace also stays inline: spans must cover this process and its pool.
     exit_code: int | None = None
     if (
         not args.no_daemon
         and not args.no_cache
         and args.cache_dir is None
         and args.cache_max_mb is None
+        and args.trace is None
     ):
         try:
             exit_code = _run_via_daemon(args, selected)
@@ -568,51 +720,65 @@ def main(argv: list[str] | None = None) -> int:
     if exit_code is not None:
         return exit_code
 
-    cache = None
-    if not args.no_cache:
-        try:
-            cache = ResultCache(args.cache_dir or default_cache_dir())
-        except OSError as error:
-            print(f"unusable cache directory: {error}", file=sys.stderr)
-            return 2
+    trace_writer: telemetry.TraceWriter | None = None
+    was_collecting = telemetry.collection_enabled()
+    if args.trace is not None:
+        telemetry.enable_collection()
+        trace_writer = telemetry.TraceWriter(args.trace)
+        telemetry.enable_tracing(trace_writer)
+    try:
+        cache = None
+        if not args.no_cache:
+            try:
+                cache = ResultCache(args.cache_dir or default_cache_dir())
+            except OSError as error:
+                print(f"unusable cache directory: {error}", file=sys.stderr)
+                return 2
 
-    jobs = [ExperimentJob(experiment_id, quick=not args.full) for experiment_id in selected]
-    roots = {id(job) for job in jobs}
-    renderer = _EventRenderer(selected, as_json=args.as_json, stream=args.stream)
-    for event in iter_sharded(
-        jobs,
-        shard_size=args.shard_size,
-        workers=args.jobs,
-        cache=cache,
-    ):
-        include_value = (
-            event.terminal
-            and id(event.job) in roots
-            and event.outcome is not None
-            and event.outcome.ok
-        )
-        renderer.feed(event.to_dict(include_value=include_value))
-    code = renderer.finish()
-    if code:
-        return code
+        jobs = [ExperimentJob(experiment_id, quick=not args.full) for experiment_id in selected]
+        roots = {id(job) for job in jobs}
+        renderer = _EventRenderer(selected, as_json=args.as_json, stream=args.stream)
+        with telemetry.span("cli.run", kind="cli", experiments=list(selected)):
+            for event in iter_sharded(
+                jobs,
+                shard_size=args.shard_size,
+                workers=args.jobs,
+                cache=cache,
+            ):
+                include_value = (
+                    event.terminal
+                    and id(event.job) in roots
+                    and event.outcome is not None
+                    and event.outcome.ok
+                )
+                renderer.feed(event.to_dict(include_value=include_value))
+        code = renderer.finish()
+        if code:
+            return code
 
-    if cache is not None:
-        print(f"cache: {cache.stats.summary()}", file=sys.stderr)
-    if args.cache_max_mb is not None:
-        # The store is trimmed even under --no-cache: that flag only bypasses
-        # lookups for this run, while the size budget is about the directory.
-        try:
-            store = cache or ResultCache(args.cache_dir or default_cache_dir())
-        except OSError as error:
-            print(f"unusable cache directory: {error}", file=sys.stderr)
-            return 2
-        removed, freed = store.prune(int(args.cache_max_mb * 1_000_000))
-        print(
-            f"cache: pruned {removed} entrie(s) ({freed / 1e6:.2f} MB) to fit "
-            f"{args.cache_max_mb:g} MB",
-            file=sys.stderr,
-        )
-    return 0
+        if cache is not None:
+            print(f"cache: {cache.stats.summary()}", file=sys.stderr)
+        if args.cache_max_mb is not None:
+            # The store is trimmed even under --no-cache: that flag only bypasses
+            # lookups for this run, while the size budget is about the directory.
+            try:
+                store = cache or ResultCache(args.cache_dir or default_cache_dir())
+            except OSError as error:
+                print(f"unusable cache directory: {error}", file=sys.stderr)
+                return 2
+            removed, freed = store.prune(int(args.cache_max_mb * 1_000_000))
+            print(
+                f"cache: pruned {removed} entrie(s) ({freed / 1e6:.2f} MB) to fit "
+                f"{args.cache_max_mb:g} MB",
+                file=sys.stderr,
+            )
+        return 0
+    finally:
+        if trace_writer is not None:
+            telemetry.disable_tracing()
+            trace_writer.close()
+            if not was_collecting:
+                telemetry.disable_collection()
 
 
 if __name__ == "__main__":

@@ -285,6 +285,150 @@ class TestDaemonServer:
         assert not socket_path.exists()
 
 
+#: Small fleet traffic configuration reused by the fleet-op tests.
+FLEET_CONFIG = {
+    "fleet_seed": 99,
+    "devices": 64,
+    "puf": "CODIC-sig PUF",
+    "requests": 16,
+    "challenges_per_device": 2,
+    "impostor_ratio": 0.25,
+    "temperature_jitter_c": 5.0,
+}
+
+FLEET_CLI_ARGS = [
+    "fleet", "--seed", "99", "--devices", "64", "--requests", "16",
+    "--challenges", "2", "--impostor-ratio", "0.25",
+    "--temperature-jitter", "5.0",
+]
+
+
+class TestDaemonTelemetry:
+    """Metrics surfacing and the fleet op (latency-carrying done frames)."""
+
+    def test_status_reports_socket_and_metrics_with_empty_index(self, daemon):
+        # Before any work: the operator still sees where the daemon lives
+        # and that its index is empty, plus a metrics snapshot.
+        status = daemon.status()
+        assert status["index_entries"] == 0
+        assert status["socket"] == str(daemon.socket_path)
+        metrics = status["metrics"]
+        assert set(metrics) >= {"counters", "gauges", "histograms"}
+        assert json.loads(json.dumps(metrics)) == metrics
+
+    def test_status_metrics_count_requests(self, daemon):
+        from repro import telemetry
+
+        before = daemon.status()["metrics"]["counters"].get(
+            telemetry.DAEMON_REQUESTS_COLD, 0
+        )
+        assert list(daemon.submit(["table1"]))[-1]["type"] == "done"
+        counters = daemon.status()["metrics"]["counters"]
+        assert counters[telemetry.DAEMON_REQUESTS_COLD] == before + 1
+        assert counters[telemetry.DAEMON_REQUESTS] >= counters[
+            telemetry.DAEMON_REQUESTS_COLD
+        ]
+
+    def test_metrics_op_returns_prometheus_text(self, daemon):
+        assert list(daemon.submit(["table1"]))[-1]["type"] == "done"
+        text = daemon.metrics()
+        assert "# TYPE repro_daemon_requests_total counter" in text
+        assert "# TYPE repro_daemon_request_seconds histogram" in text
+        assert 'repro_daemon_request_seconds_bucket{le="+Inf"}' in text
+        assert "repro_engine_jobs_finished_total" in text
+        assert text.endswith("\n")
+
+    def test_fleet_op_cold_then_warm(self, daemon):
+        from repro import telemetry
+
+        cold = list(daemon.fleet(FLEET_CONFIG))
+        assert cold[-1]["type"] == "done"
+        assert cold[-1]["misses"] >= 1
+        assert cold[-1]["elapsed_s"] > 0.0
+        # The done frame carries this request's per-auth latency histogram:
+        # one observation per authentication request.
+        latency = telemetry.Histogram.from_dict(cold[-1]["latency"])
+        assert latency.count == FLEET_CONFIG["requests"]
+        assert latency.quantile(0.5) > 0.0
+        values = [
+            frame["event"]["value"]
+            for frame in cold[:-1]
+            if frame["type"] == "event" and "value" in frame["event"]
+        ]
+        assert len(values) == 1
+
+        # Warm rerun: served from the daemon cache, nothing measured.
+        warm = list(daemon.fleet(FLEET_CONFIG))
+        assert warm[-1]["type"] == "done"
+        assert warm[-1]["hits"] >= 1
+        assert warm[-1]["misses"] == 0
+        assert telemetry.Histogram.from_dict(warm[-1]["latency"]).count == 0
+        warm_values = [
+            frame["event"]["value"]
+            for frame in warm[:-1]
+            if frame["type"] == "event" and "value" in frame["event"]
+        ]
+        assert warm_values == values
+
+    def test_fleet_op_sharded_request_matches_inline(self, daemon):
+        from repro.engine import FleetTrafficJob
+
+        config = dict(FLEET_CONFIG, fleet_seed=98)
+        frames = list(daemon.fleet(config, shard_size=5))
+        assert frames[-1]["type"] == "done"
+        (payload,) = [
+            frame["event"]["value"]
+            for frame in frames[:-1]
+            if frame["type"] == "event" and "value" in frame["event"]
+        ]
+        # The daemon-sharded replay is bit-identical to a serial inline run.
+        job = FleetTrafficJob(**config)
+        assert job.decode(payload) == job.run()
+
+    def test_fleet_op_rejects_bad_config(self, daemon):
+        frames = list(daemon.fleet({"no_such_field": 1}))
+        assert frames[-1]["type"] == "error"
+        assert "bad fleet job config" in frames[-1]["message"]
+
+    def test_fleet_op_requires_a_config_object(self, daemon):
+        response = daemon.request({"op": "fleet", "job": 5})
+        assert response["type"] == "error"
+        assert "job config" in response["message"]
+
+    def test_fleet_op_with_stale_code_version_is_refused(self, daemon):
+        frames = list(daemon.fleet(FLEET_CONFIG, code_version="not-the-daemon's"))
+        assert [frame["type"] for frame in frames] == ["stale"]
+
+    def test_fleet_cli_routes_through_daemon(self, daemon, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        assert main(FLEET_CLI_ARGS + ["--json"]) == 0
+        captured = capsys.readouterr()
+        assert "daemon: routing via" in captured.err
+        assert "auth latency p50" in captured.err
+        document = json.loads(captured.out)
+        assert document["latency"]["count"] == 16
+        assert document["latency"]["p50_ms"] > 0.0
+
+        # Warm rerun through the daemon: identical deterministic fields, but
+        # nothing was measured so the percentiles are absent.
+        assert main(FLEET_CLI_ARGS + ["--json"]) == 0
+        warm = capsys.readouterr()
+        assert "served from the daemon cache" in warm.err
+        warm_document = json.loads(warm.out)
+        assert warm_document["latency"]["count"] == 0
+        for volatile in ("elapsed_seconds", "auths_per_second", "latency"):
+            del document[volatile]
+            del warm_document[volatile]
+        assert warm_document == document
+
+    def test_fleet_cli_table_through_daemon(self, daemon, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        assert main(FLEET_CLI_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "auth latency p50 (ms)" in out
+        assert "auths/sec" in out
+
+
 class TestGracefulDegradation:
     def test_cli_runs_inline_when_no_daemon_listens(
         self, tmp_path, capsys, monkeypatch

@@ -142,6 +142,78 @@ class TestIterJobs:
         assert event.to_dict()["shard"] is None
 
 
+class TestJobEventWireFormat:
+    """The ``--stream``/daemon wire format survives a JSON round-trip."""
+
+    def _over_the_wire(self, event: JobEvent, **kwargs) -> dict:
+        """Serialize exactly as the stream renderers and daemon frames do."""
+        return json.loads(json.dumps(event.to_dict(**kwargs)))
+
+    def test_finished_event_round_trips_with_value(self):
+        job = SleepJob("alpha", 0.0)
+        outcome = JobOutcome(job=job, value="alpha", duration_s=0.25)
+        received = self._over_the_wire(
+            JobEvent(FINISHED, job, 1, 3, outcome), include_value=True
+        )
+        assert received == {
+            "event": "finished",
+            "job": "alpha",
+            "kind": "sleep",
+            "index": 1,
+            "total": 3,
+            "duration_s": 0.25,
+            "cached": False,
+            "error": None,
+            "shard": None,
+            "value": {"name": "alpha"},
+        }
+        # The consumer reconstructs the in-memory result via the job codec.
+        assert job.decode(received["value"]) == outcome.value
+
+    def test_shard_coordinates_round_trip(self):
+        job = MonteCarloShardJob(4.0, 30.0, MC_SAMPLE_BLOCK, 2 * MC_SAMPLE_BLOCK)
+        outcome = JobOutcome(job=job, value=5, duration_s=0.1)
+        received = self._over_the_wire(JobEvent(FINISHED, job, 0, 2, outcome),
+                                       include_value=True)
+        assert received["shard"] == [MC_SAMPLE_BLOCK, 2 * MC_SAMPLE_BLOCK]
+        assert job.decode(received["value"]) == 5
+
+    def test_failed_event_carries_error_and_never_a_value(self):
+        job = SlowFailJob(sleep_s=0.0)
+        outcome = JobOutcome(job=job, error="Traceback ... exploded")
+        received = self._over_the_wire(
+            JobEvent(FAILED, job, 0, 1, outcome), include_value=True
+        )
+        assert received["event"] == "failed"
+        assert received["error"] == "Traceback ... exploded"
+        assert "value" not in received
+
+    def test_cached_event_round_trips_the_cached_flag(self):
+        job = SleepJob("warm", 0.0)
+        outcome = JobOutcome(job=job, value="warm", cached=True)
+        received = self._over_the_wire(JobEvent(CACHED, job, 0, 1, outcome))
+        assert received["cached"] is True
+        assert "value" not in received  # include_value defaults to off
+
+    def test_non_terminal_events_have_no_outcome_fields(self):
+        received = self._over_the_wire(
+            JobEvent(STARTED, SleepJob("alpha", 0.0), 0, 1), include_value=True
+        )
+        assert received["event"] == "started"
+        assert received["duration_s"] == 0.0
+        assert received["cached"] is False
+        assert received["error"] is None
+        assert "value" not in received
+
+    def test_merged_parent_events_round_trip_null_cohort(self):
+        """Parent merges complete outside any cohort: index/total stay null."""
+        job = SleepJob("parent", 0.0)
+        outcome = JobOutcome(job=job, value="parent", duration_s=0.01)
+        received = self._over_the_wire(JobEvent(FINISHED, job, None, None, outcome))
+        assert received["index"] is None
+        assert received["total"] is None
+
+
 class TestFailFastPoolDrain:
     """Fail-fast semantics on the pool: drain in-flight, cancel queued."""
 

@@ -405,22 +405,58 @@ class TestFleetCLI:
         assert "FRR (%)" in out
         assert "auths/sec" in err
 
-    def test_json_byte_identical_across_jobs(self, capsys):
+    #: Wall-clock keys of the fleet JSON document -- everything else must be
+    #: byte-for-byte deterministic across jobs/shard-size/daemon routing.
+    VOLATILE_KEYS = ("elapsed_seconds", "auths_per_second", "latency")
+
+    def deterministic(self, stdout):
+        document = json.loads(stdout)
+        for key in self.VOLATILE_KEYS:
+            assert key in document, f"fleet JSON lost its {key!r} field"
+            del document[key]
+        return document
+
+    def test_json_deterministic_across_jobs(self, capsys):
         base = ["fleet", "--devices", "8", "--requests", "16", "--seed", "11",
-                "--json"]
+                "--json", "--no-daemon"]
         code, serial, _ = self.run_cli(base, capsys)
         assert code == 0
         code, sharded, _ = self.run_cli(
             base + ["--jobs", "2", "--shard-size", "5"], capsys
         )
         assert code == 0
-        assert serial == sharded
+        assert self.deterministic(serial) == self.deterministic(sharded)
         # --jobs without --shard-size defaults to an even request split.
         code, auto_sharded, _ = self.run_cli(base + ["--jobs", "2"], capsys)
         assert code == 0
-        assert serial == auto_sharded
+        assert self.deterministic(serial) == self.deterministic(auto_sharded)
         document = json.loads(serial)
         assert document["genuine_trials"] + document["impostor_trials"] == 16
+        assert document["requests"] == 16
+
+    def test_json_reports_latency_percentiles(self, capsys):
+        code, out, err = self.run_cli(
+            ["fleet", "--devices", "8", "--requests", "16", "--seed", "11",
+             "--json", "--no-daemon"],
+            capsys,
+        )
+        assert code == 0
+        latency = json.loads(out)["latency"]
+        assert latency["count"] == 16
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert latency[key] > 0.0
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert "auth latency p50" in err
+
+    def test_table_reports_latency_percentiles(self, capsys):
+        code, out, _ = self.run_cli(
+            ["fleet", "--devices", "8", "--requests", "16", "--no-daemon"],
+            capsys,
+        )
+        assert code == 0
+        assert "auth latency p50 (ms)" in out
+        assert "auth latency p99 (ms)" in out
+        assert "auths/sec" in out
 
     @pytest.mark.parametrize(
         "argv",

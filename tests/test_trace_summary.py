@@ -1,0 +1,147 @@
+"""Tests for the stdlib trace summarizer (time table and critical path).
+
+``benchmarks/summarize_trace.py`` is deliberately package-free (it must run
+from a fresh checkout without ``PYTHONPATH``), so the tests load it by file
+path and feed it NDJSON traces shaped like real ``--trace`` output --
+including a cross-process tree where worker spans carry the submitting
+process's span as their parent.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "summarize_trace.py"
+)
+
+
+@pytest.fixture(scope="module")
+def summarize():
+    spec = importlib.util.spec_from_file_location("summarize_trace", _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _record(span, parent, name, duration, *, kind="span", pid=100, **labels):
+    return {
+        "span": span,
+        "parent": parent,
+        "name": name,
+        "kind": kind,
+        "pid": pid,
+        "ts": 1000.0,
+        "duration_s": duration,
+        "labels": labels,
+    }
+
+
+#: A two-process trace: cli.run owns two job.run spans in a worker process.
+SAMPLE = [
+    _record("64-2", "64-1", "job.run", 0.30, kind="engine", pid=200),
+    _record("64-3", "64-1", "job.run", 0.50, kind="engine", pid=200),
+    _record("65-1", "64-3", "fleet.auth_block", 0.45, kind="fleet", pid=201),
+    _record("64-1", None, "cli.run", 1.00, kind="cli"),
+]
+
+
+def _write(tmp_path, records) -> Path:
+    path = tmp_path / "run.trace"
+    path.write_text("".join(json.dumps(record) + "\n" for record in records))
+    return path
+
+
+class TestLoadTrace:
+    def test_parses_and_skips_blank_lines(self, summarize, tmp_path):
+        path = tmp_path / "run.trace"
+        path.write_text(
+            json.dumps(SAMPLE[0]) + "\n\n" + json.dumps(SAMPLE[-1]) + "\n"
+        )
+        assert len(summarize.load_trace(path)) == 2
+
+    def test_rejects_invalid_json_with_line_number(self, summarize, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(json.dumps(SAMPLE[0]) + "\n{not json\n")
+        with pytest.raises(ValueError, match="bad.trace:2"):
+            summarize.load_trace(path)
+
+    def test_rejects_missing_keys(self, summarize, tmp_path):
+        truncated = {k: v for k, v in SAMPLE[0].items() if k not in ("pid", "labels")}
+        path = tmp_path / "short.trace"
+        path.write_text(json.dumps(truncated) + "\n")
+        with pytest.raises(ValueError, match="missing key.*pid, labels"):
+            summarize.load_trace(path)
+
+
+class TestTimeTable:
+    def test_groups_by_name_kind_sorted_by_total(self, summarize):
+        headers, rows = summarize.time_table(SAMPLE)
+        assert headers[:3] == ["name", "kind", "count"]
+        assert [row[0] for row in rows] == ["cli.run", "job.run", "fleet.auth_block"]
+        job_run = rows[1]
+        assert job_run[2] == "2"          # count
+        assert job_run[3] == "0.8000"     # total_s
+        assert job_run[6] == "80.0%"      # share of the root duration
+
+    def test_share_dash_when_no_root_duration(self, summarize):
+        records = [_record("1-1", None, "zero", 0.0)]
+        _, rows = summarize.time_table(records)
+        assert rows[0][6] == "-"
+
+
+class TestCriticalPath:
+    def test_descends_largest_child_across_processes(self, summarize):
+        path = summarize.critical_path(SAMPLE)
+        assert [record["name"] for record in path] == [
+            "cli.run", "job.run", "fleet.auth_block",
+        ]
+        assert path[1]["span"] == "64-3"  # the larger of the two job.run spans
+        assert {record["pid"] for record in path} == {100, 200, 201}
+
+    def test_orphan_parent_makes_a_root(self, summarize):
+        # A span whose parent never completed (e.g. the traced process died)
+        # still anchors the path.
+        orphan = [_record("9-2", "9-1", "job.run", 0.2)]
+        assert summarize.critical_path(orphan) == orphan
+
+    def test_empty_trace(self, summarize):
+        assert summarize.critical_path([]) == []
+
+
+class TestMain:
+    def test_renders_both_views(self, summarize, tmp_path, capsys):
+        assert summarize.main([str(_write(tmp_path, SAMPLE))]) == 0
+        out = capsys.readouterr().out
+        assert "span time by (name, kind) -- 4 span(s), 3 process(es)" in out
+        assert "critical path" in out
+        assert "fleet.auth_block" in out
+
+    def test_empty_trace_file(self, summarize, tmp_path, capsys):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        assert summarize.main([str(path)]) == 0
+        assert "trace is empty" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, summarize, tmp_path, capsys):
+        assert summarize.main([str(tmp_path / "absent.trace")]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_real_trace_from_a_traced_run(self, summarize, tmp_path, capsys):
+        # End-to-end: a real --trace file from the experiment CLI parses and
+        # renders (the CI smoke does the same against the daemon).
+        from repro.experiments.__main__ import main as cli_main
+
+        trace = tmp_path / "real.trace"
+        argv = ["table1", "--json", "--no-daemon",
+                "--cache-dir", str(tmp_path / "cache"), "--trace", str(trace)]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert summarize.main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.run" in out
+        assert "job.run" in out

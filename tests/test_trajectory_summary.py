@@ -131,7 +131,38 @@ class TestMain:
         assert summarize.main(["--file", str(path), "--sparkline"]) == 0
         assert "no entries" in capsys.readouterr().out
 
-    def test_committed_trajectory_renders(self, summarize, capsys):
-        # The repo's own BENCH_pair_kernels.json must stay renderable.
+    def test_unit_aware_rendering(self, summarize, tmp_path, capsys):
+        # A trajectory file names its own rate unit and work-count column:
+        # auths/sec files render without any code change here.
+        fleet = {
+            "workload": {"experiment": "fleet-auth"},
+            "unit": "auths_per_second",
+            "count_key": "requests",
+            "entries": [
+                {
+                    "label": "seed",
+                    "date": "2026-07-26",
+                    "requests": 300,
+                    "auths_per_second": {"direct": {"CODIC": 1410.0}},
+                }
+            ],
+        }
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(fleet))
+        assert summarize.main(["--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "auths/sec trajectory -- fleet-auth" in out
+        assert "requests" in out
+        assert "1410.0" in out
+
+    def test_committed_trajectories_render(self, summarize, capsys):
+        # The repo's own BENCH_pair_kernels.json and BENCH_fleet.json must
+        # stay renderable; without --file both are printed.
         assert summarize.main([]) == 0
+        out = capsys.readouterr().out
+        assert "pairs/sec trajectory" in out
+        assert "auths/sec trajectory" in out
         assert summarize.main(["--sparkline"]) == 0
+        spark = capsys.readouterr().out
+        assert "pairs/sec sparklines" in spark
+        assert "auths/sec sparklines" in spark

@@ -36,7 +36,7 @@ unpickle inside ``ProcessPoolExecutor`` workers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any
 
@@ -380,12 +380,25 @@ def _merge_keyed_lists(values: "list[Any]") -> dict[str, list[Any]]:
     return merged
 
 
-def _decode_enroll_payload(payload: dict[str, Any]) -> dict[str, Any]:
-    """Re-type a cached golden-store payload (JSON numbers back to ints)."""
+def _encode_enroll_payload(result: dict[str, Any]) -> dict[str, Any]:
+    """Listify an arrays golden payload at the JSON/cache boundary."""
+    import numpy as np
+
     return {
-        "keys": [[int(d), int(k)] for d, k in payload["keys"]],
-        "counts": [int(count) for count in payload["counts"]],
-        "positions": [int(position) for position in payload["positions"]],
+        "keys": np.asarray(result["keys"], dtype=np.int64).reshape(-1, 2).tolist(),
+        "counts": np.asarray(result["counts"], dtype=np.int64).tolist(),
+        "positions": np.asarray(result["positions"], dtype=np.int64).tolist(),
+    }
+
+
+def _decode_enroll_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Re-type a cached golden-store payload into the arrays value form."""
+    import numpy as np
+
+    return {
+        "keys": np.asarray(payload["keys"], dtype=np.int64).reshape(-1, 2),
+        "counts": np.asarray(payload["counts"], dtype=np.int64),
+        "positions": np.asarray(payload["positions"], dtype=np.int64),
     }
 
 
@@ -479,6 +492,11 @@ def _run_fleet_traffic(
     from repro.fleet.traffic import authenticate_block
 
     fleet, verifier = _fleet_runtime(spec.fleet_config())
+    if spec.warm_golden is not None:
+        # Install the pre-enrolled golden payload into the memoized verifier
+        # (idempotently: slots other shards already warmed or lazily enrolled
+        # are skipped), so this block evaluates no enrollment responses.
+        verifier.warm(spec.warm_golden)
     genuine, impostor = authenticate_block(
         fleet, verifier, spec.traffic_config(), start, stop
     )
@@ -504,6 +522,12 @@ class FleetTrafficJob(ShardedJob):
     temperature_jitter_c: float = 0.0
     aging_horizon_hours: float = 0.0
     reenroll_hours: float = 0.0
+    #: Optional pre-enrolled golden payload (the arrays value of a
+    #: :class:`FleetEnrollJob`) handed to every traffic shard worker, which
+    #: then skips lazy re-enrollment.  Excluded from equality/hash and from
+    #: ``config`` (hence cache keys): warm and lazy enrollment are
+    #: bit-identical, so the payload is an execution hint, not an input.
+    warm_golden: Any = field(default=None, compare=False, repr=False)
 
     kind = "fleet-traffic"
 
@@ -620,8 +644,13 @@ class FleetTrafficShardJob(Job):
 def _run_fleet_enroll(
     spec: "FleetEnrollJob", start: int, stop: int
 ) -> dict[str, Any]:
-    """Enroll devices ``[start, stop)`` into a fresh golden-store block."""
-    from repro.fleet.devices import DeviceFleet
+    """Enroll devices ``[start, stop)`` into a fresh golden-store block.
+
+    The value is the store's *arrays* form (``GoldenStore.to_arrays``): it
+    stays numpy end to end through merge and the warm-store handoff into
+    traffic workers, and is only listified by ``encode`` at the JSON/cache
+    boundary.
+    """
     from repro.fleet.verifier import FleetVerifier
 
     # A fresh store per block: the payload must contain exactly this device
@@ -629,7 +658,7 @@ def _run_fleet_enroll(
     fleet, _ = _fleet_runtime(spec.fleet_config())
     verifier = FleetVerifier(fleet)
     verifier.enroll_range(start, stop)
-    return verifier.store.to_payload()
+    return verifier.store.to_arrays()
 
 
 @dataclass(frozen=True)
@@ -637,9 +666,12 @@ class FleetEnrollJob(ShardedJob):
     """Fleet-wide enrollment into the verifier's array-native golden store.
 
     The result value is the :meth:`repro.fleet.verifier.GoldenStore.
-    to_payload` dict covering every (device, challenge) slot in device-major
-    order; device ranges merge by concatenation, so enrollment partitions
-    across the pool bit-identically to a serial pass.
+    to_arrays` dict covering every (device, challenge) slot in device-major
+    order; device ranges merge by array concatenation, so enrollment
+    partitions across the pool bit-identically to a serial pass.  ``encode``
+    listifies the arrays for the JSON cache; in-process consumers (the
+    warm-store handoff into :class:`FleetTrafficShardJob` workers) never see
+    a Python-int list copy.
     """
 
     fleet_seed: int
@@ -685,10 +717,12 @@ class FleetEnrollJob(ShardedJob):
         ]
 
     def merge(self, values: list[Any]) -> Any:
-        return _merge_keyed_lists(values)
+        from repro.fleet.verifier import GoldenStore
+
+        return GoldenStore.merge_arrays(values)
 
     def encode(self, result: Any) -> dict[str, Any]:
-        return result
+        return _encode_enroll_payload(result)
 
     def decode(self, payload: dict[str, Any]) -> Any:
         return _decode_enroll_payload(payload)
@@ -728,7 +762,7 @@ class FleetEnrollShardJob(Job):
         return (self.start, self.stop)
 
     def encode(self, result: Any) -> dict[str, Any]:
-        return result
+        return _encode_enroll_payload(result)
 
     def decode(self, payload: dict[str, Any]) -> Any:
         return _decode_enroll_payload(payload)

@@ -382,10 +382,10 @@ def _fleet_main(argv: list[str]) -> int:
     Provisions a device fleet, replays a deterministic mixed
     genuine/impostor request stream against it (optionally sharded across
     worker processes -- results are bit-identical for any ``--jobs`` /
-    ``--shard-size``, and identical inline or through a warm daemon) and
-    reports FAR/FRR at the given acceptance threshold plus service-grade
-    latency: auths/sec throughput and p50/p95/p99 per-request latency from
-    the fleet auth histogram.  In ``--json`` those wall-clock readings live
+    ``--shard-size``, with or without ``--warm-store``, and identical inline
+    or through a warm daemon) and reports FAR/FRR at the given acceptance
+    threshold plus service-grade latency: auths/sec throughput and
+    p50/p95/p99 per-request latency from the fleet auth histogram.  In ``--json`` those wall-clock readings live
     under the volatile ``elapsed_seconds``/``auths_per_second``/``latency``
     keys; every other field is deterministic.
     """
@@ -432,6 +432,11 @@ def _fleet_main(argv: list[str]) -> int:
                         help="split the stream into request blocks of N")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit one JSON document on stdout")
+    parser.add_argument("--warm-store", action="store_true",
+                        help="eagerly enroll the whole fleet first (sharded "
+                        "FleetEnrollJob) and hand the golden store to the "
+                        "traffic workers, so no shard re-enrolls lazily "
+                        "(bit-identical results; forces inline execution)")
     parser.add_argument("--no-daemon", action="store_true",
                         help="never route the run through a warm daemon")
     parser.add_argument("--trace", default=None, metavar="FILE",
@@ -480,6 +485,35 @@ def _fleet_main(argv: list[str]) -> int:
     if shard_size is None and args.jobs > 1:
         shard_size = -(-args.requests // args.jobs)
 
+    if args.warm_store:
+        # Enroll the whole fleet up front (device-sharded across the same
+        # worker count) and thread the golden arrays payload into the
+        # traffic job: warm and lazy enrollment are bit-identical, so the
+        # deterministic JSON fields cannot change -- only the auth phase
+        # stops paying enrollment evaluations.  The payload stays numpy
+        # end to end (no Python-int list copies on this handoff path).
+        from dataclasses import replace
+
+        from repro.engine import FleetEnrollJob
+
+        enroll_job = FleetEnrollJob(
+            fleet_seed=args.seed,
+            devices=args.devices,
+            puf=args.puf,
+            challenges_per_device=args.challenges,
+        )
+        enroll_shard = -(-args.devices // args.jobs) if args.jobs > 1 else None
+        warm_start = time.perf_counter()
+        payload = run_sharded(
+            [enroll_job], shard_size=enroll_shard, workers=args.jobs, cache=None
+        )[0].value
+        print(
+            f"fleet: warm store enrolled {len(payload['counts'])} golden "
+            f"slot(s) in {time.perf_counter() - warm_start:.3f}s",
+            file=sys.stderr,
+        )
+        job = replace(job, warm_golden=payload)
+
     # Latency collection is always on for the fleet CLI (it *is* the
     # service-grade report); the per-request delta of the shared histogram
     # attributes this run's observations even when earlier runs in the same
@@ -493,7 +527,9 @@ def _fleet_main(argv: list[str]) -> int:
     try:
         start = time.perf_counter()
         routed = None
-        if not args.no_daemon and args.trace is None:
+        # A warm store cannot ride through the daemon protocol (jobs are
+        # rebuilt from their JSON config there), so --warm-store runs inline.
+        if not args.no_daemon and args.trace is None and not args.warm_store:
             try:
                 routed = _fleet_via_daemon(job, shard_size)
             except DaemonError as error:

@@ -10,6 +10,13 @@ unit_jobs(quick)])``, which is what guarantees sharded execution reproduces
 them bit-for-bit.
 
 Experiments without a plan (cheap closed-form tables) simply run whole.
+
+Unit jobs carry only result-determining parameters in their ``config`` (and
+hence their cache keys); execution hints such as
+:attr:`~repro.engine.jobs.FleetTrafficJob.warm_golden` (a pre-enrolled
+golden-store payload handed to traffic workers) are excluded from configs
+and equality, so a plan's cached cells stay valid no matter how a replay
+was warmed.
 """
 
 from __future__ import annotations

@@ -29,9 +29,11 @@ from repro.fleet.devices import (
 )
 from repro.fleet.traffic import (
     MAX_IMPOSTOR_REDRAWS,
+    SCALAR_ENV_VAR,
     TrafficConfig,
     TrafficSummary,
     authenticate_block,
+    authenticate_block_scalar,
     authenticate_request,
 )
 from repro.fleet.verifier import FleetVerifier, GoldenStore
@@ -39,6 +41,7 @@ from repro.fleet.verifier import FleetVerifier, GoldenStore
 __all__ = [
     "FLEET_PUF_FACTORIES",
     "MAX_IMPOSTOR_REDRAWS",
+    "SCALAR_ENV_VAR",
     "DeviceFleet",
     "FleetConfig",
     "FleetDevice",
@@ -47,5 +50,6 @@ __all__ = [
     "TrafficConfig",
     "TrafficSummary",
     "authenticate_block",
+    "authenticate_block_scalar",
     "authenticate_request",
 ]

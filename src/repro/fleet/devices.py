@@ -166,6 +166,7 @@ class DeviceFleet:
         self.max_cached_devices = max_cached_devices
         self._tree = StreamTree(config.seed).child("fleet")
         self._devices: "OrderedDict[int, FleetDevice]" = OrderedDict()
+        self._challenges: "OrderedDict[tuple[int, int], Challenge]" = OrderedDict()
 
     def __len__(self) -> int:
         return self.config.devices
@@ -211,12 +212,19 @@ class DeviceFleet:
     # ------------------------------------------------------------------
     # Deterministic per-device streams
     # ------------------------------------------------------------------
+    #: Bound of the challenge memo: challenges are tiny (an address plus a
+    #: size), so the memo mostly trades repeated stream derivations for a
+    #: dict lookup on the traffic hot path.
+    MAX_CACHED_CHALLENGES = 4096
+
     def challenge(self, device_id: int, challenge_index: int) -> Challenge:
         """The device's ``challenge_index``-th enrolled challenge.
 
         The address is drawn from the challenge's own stream, so it depends
         only on ``(seed, device_id, challenge_index)`` -- never on which
-        other challenges (or devices) were materialized first.
+        other challenges (or devices) were materialized first.  Challenges
+        are therefore safe to memoize (LRU-bounded): a re-derived challenge
+        is the same challenge.
         """
         self._check_device_id(device_id)
         if not 0 <= challenge_index < self.config.challenges_per_device:
@@ -224,12 +232,21 @@ class DeviceFleet:
                 f"challenge_index {challenge_index} out of range for "
                 f"{self.config.challenges_per_device} challenges per device"
             )
+        key = (device_id, challenge_index)
+        cached = self._challenges.get(key)
+        if cached is not None:
+            self._challenges.move_to_end(key)
+            return cached
         rng = self._tree.rng("challenge", device_id, challenge_index)
         segment = SegmentAddress(
             bank=int(rng.integers(0, self.config.banks)),
             row=int(rng.integers(0, self.config.rows_per_bank)),
         )
-        return Challenge(segment=segment, size_bytes=self.config.segment_bytes)
+        challenge = Challenge(segment=segment, size_bytes=self.config.segment_bytes)
+        self._challenges[key] = challenge
+        while len(self._challenges) > self.MAX_CACHED_CHALLENGES:
+            self._challenges.popitem(last=False)
+        return challenge
 
     def enrollment_rng(self, device_id: int, challenge_index: int) -> np.random.Generator:
         """Noise stream of the golden evaluation of one (device, challenge)."""

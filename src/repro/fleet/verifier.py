@@ -28,7 +28,11 @@ import numpy as np
 
 from repro.fleet.devices import DeviceFleet
 from repro.puf.base import PUFResponse
-from repro.puf.positions import jaccard_index_arrays, positions_equal
+from repro.puf.positions import (
+    jaccard_index_arrays,
+    jaccard_index_batch,
+    positions_equal,
+)
 
 #: Initial capacity of the store's position buffer.
 _INITIAL_CAPACITY = 256
@@ -86,43 +90,151 @@ class GoldenStore:
         view.setflags(write=False)
         return view
 
+    def get_many(
+        self, keys: "Iterable[tuple[int, int]]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Golden slices of ``keys``, gathered into batch ``(buffer, offsets)``.
+
+        The returned buffer concatenates the slot slices in the given key
+        order (repeated keys are gathered repeatedly), ready for
+        :func:`repro.puf.positions.jaccard_index_batch`.  Raises ``KeyError``
+        on the first key without an enrolled slot.
+        """
+        slots = []
+        for key in keys:
+            slot = self._slots.get(key)
+            if slot is None:
+                raise KeyError(f"golden response for {key} is not enrolled")
+            slots.append(slot)
+        offsets = np.zeros(len(slots) + 1, dtype=np.int64)
+        if slots:
+            np.cumsum([stop - start for start, stop in slots], out=offsets[1:])
+        buffer = np.empty(int(offsets[-1]), dtype=np.int64)
+        for index, (start, stop) in enumerate(slots):
+            buffer[offsets[index] : offsets[index + 1]] = self._positions[start:stop]
+        return buffer, offsets
+
+    # ------------------------------------------------------------------
+    # Payloads: numpy arrays in-process, lists only at the JSON boundary
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Slots in insertion order as array-native ``{"keys", "counts",
+        "positions"}``.
+
+        The in-process (and worker-handoff) payload form: ``keys`` is an
+        ``(n, 2)`` int64 array of ``(device_id, challenge_index)`` rows,
+        ``counts`` the per-slot position counts, ``positions`` a copy of the
+        occupied buffer.  Concatenating the arrays of two stores (in order)
+        is the payload of the store holding both blocks.  ``to_payload``
+        listifies this form at the JSON/cache boundary.
+        """
+        count = len(self._slots)
+        keys = np.fromiter(
+            (component for key in self._slots for component in key),
+            dtype=np.int64,
+            count=2 * count,
+        ).reshape(count, 2)
+        counts = np.fromiter(
+            (stop - start for start, stop in self._slots.values()),
+            dtype=np.int64,
+            count=count,
+        )
+        return {
+            "keys": keys,
+            "counts": counts,
+            "positions": self._positions[: self._size].copy(),
+        }
+
+    @classmethod
+    def from_arrays(cls, payload: dict[str, Any]) -> "GoldenStore":
+        """Rebuild a store from an arrays (or listified) payload."""
+        store = cls()
+        store.install_arrays(
+            payload["keys"], payload["counts"], payload["positions"]
+        )
+        return store
+
+    def install_arrays(
+        self,
+        keys: "np.ndarray | list",
+        counts: "np.ndarray | list",
+        positions: "np.ndarray | list",
+    ) -> int:
+        """Install payload slots this store does not hold yet; returns how many.
+
+        Already-present keys are skipped without comparison: golden responses
+        are pure functions of the fleet config, so an existing slot
+        necessarily holds the same values -- which is what lets a lazily
+        warmed traffic verifier absorb a :class:`~repro.engine.jobs.
+        FleetEnrollJob` payload idempotently.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1, 2)
+        counts = np.asarray(counts, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        if counts.size != keys.shape[0] or int(counts.sum()) != positions.size:
+            raise ValueError(
+                f"golden payload is inconsistent: {keys.shape[0]} keys, "
+                f"{counts.size} counts covering {int(counts.sum())} positions, "
+                f"{positions.size} positions provided"
+            )
+        starts = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        installed = 0
+        for index in range(keys.shape[0]):
+            key = (int(keys[index, 0]), int(keys[index, 1]))
+            if key in self._slots:
+                continue
+            self.add(key[0], key[1], positions[starts[index] : starts[index + 1]])
+            installed += 1
+        return installed
+
+    @classmethod
+    def merge_arrays(
+        cls, payloads: "Iterable[dict[str, Any]]"
+    ) -> dict[str, np.ndarray]:
+        """Concatenate enrollment-block array payloads, in the given order."""
+        payloads = list(payloads)
+        return {
+            "keys": np.concatenate(
+                [np.asarray(p["keys"], dtype=np.int64).reshape(-1, 2) for p in payloads]
+            )
+            if payloads
+            else np.empty((0, 2), dtype=np.int64),
+            "counts": np.concatenate(
+                [np.asarray(p["counts"], dtype=np.int64) for p in payloads]
+            )
+            if payloads
+            else np.empty(0, dtype=np.int64),
+            "positions": np.concatenate(
+                [np.asarray(p["positions"], dtype=np.int64) for p in payloads]
+            )
+            if payloads
+            else np.empty(0, dtype=np.int64),
+        }
+
     # ------------------------------------------------------------------
     # JSON-safe payloads (what the engine cache persists)
     # ------------------------------------------------------------------
     def to_payload(self) -> dict[str, Any]:
         """Slots in insertion order as ``{"keys", "counts", "positions"}``.
 
-        Concatenating the payloads of two stores (in order) is the payload
-        of the store holding both blocks, which is what makes
-        device-partitioned enrollment merge by list concatenation.
+        The JSON-safe listification of :meth:`to_arrays` -- the only place
+        the position buffer becomes a Python-int list.  Concatenating the
+        payloads of two stores (in order) is the payload of the store
+        holding both blocks, which is what makes device-partitioned
+        enrollment merge by concatenation.
         """
+        arrays = self.to_arrays()
         return {
-            "keys": [[key[0], key[1]] for key in self._slots],
-            "counts": [stop - start for start, stop in self._slots.values()],
-            "positions": self._positions[: self._size].tolist(),
+            "keys": arrays["keys"].tolist(),
+            "counts": arrays["counts"].tolist(),
+            "positions": arrays["positions"].tolist(),
         }
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "GoldenStore":
-        """Inverse of :meth:`to_payload`."""
-        store = cls()
-        positions = np.asarray(payload["positions"], dtype=np.int64)
-        cursor = 0
-        for (device_id, challenge_index), count in zip(
-            payload["keys"], payload["counts"]
-        ):
-            store.add(
-                int(device_id),
-                int(challenge_index),
-                positions[cursor : cursor + int(count)],
-            )
-            cursor += int(count)
-        if cursor != positions.size:
-            raise ValueError(
-                f"golden payload is inconsistent: counts cover {cursor} "
-                f"positions but {positions.size} were provided"
-            )
-        return store
+        """Inverse of :meth:`to_payload` (accepts the arrays form too)."""
+        return cls.from_arrays(payload)
 
     @classmethod
     def merge_payloads(cls, payloads: Iterable[dict[str, Any]]) -> dict[str, Any]:
@@ -184,6 +296,38 @@ class FleetVerifier:
             golden = self.enroll(device_id, challenge_index)
         return golden
 
+    def golden_many(
+        self, keys: "list[tuple[int, int]]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Golden slices of many ``(device, challenge)`` keys, batch form.
+
+        Missing slots are enrolled lazily first, grouped by device so one
+        device build covers all of its missing challenges; the gathered
+        values are identical to per-key :meth:`golden` calls (enrollment
+        streams are independent of gather order).
+        """
+        missing: dict[int, list[int]] = {}
+        for device_id, challenge_index in dict.fromkeys(keys):
+            if (device_id, challenge_index) not in self.store:
+                missing.setdefault(device_id, []).append(challenge_index)
+        for device_id in sorted(missing):
+            for challenge_index in missing[device_id]:
+                self.enroll(device_id, challenge_index)
+        return self.store.get_many(keys)
+
+    def warm(self, payload: dict[str, Any]) -> int:
+        """Absorb a pre-enrolled golden payload (arrays or listified form).
+
+        Installs every slot the store does not hold yet and returns how many
+        were added.  Because golden responses are pure functions of the
+        fleet config, warming is bit-identical to lazy enrollment -- it only
+        moves the evaluation cost to whoever produced the payload (e.g. a
+        sharded :class:`~repro.engine.jobs.FleetEnrollJob`).
+        """
+        return self.store.install_arrays(
+            payload["keys"], payload["counts"], payload["positions"]
+        )
+
     # ------------------------------------------------------------------
     # Verification
     # ------------------------------------------------------------------
@@ -193,6 +337,26 @@ class FleetVerifier:
         """Jaccard similarity of a candidate response to the golden one."""
         return jaccard_index_arrays(
             self.golden(device_id, challenge_index), response.position_array
+        )
+
+    def similarity_batch(
+        self,
+        keys: "list[tuple[int, int]]",
+        candidates: np.ndarray,
+        candidate_offsets: np.ndarray,
+    ) -> np.ndarray:
+        """Jaccard similarities of a batch of candidates to their goldens.
+
+        ``candidates``/``candidate_offsets`` is the concatenated batch form
+        of :func:`repro.puf.positions.concat_position_arrays`; slice ``i`` is
+        matched against the golden of ``keys[i]``.  Bit-identical to looping
+        :meth:`similarity` (one float64 per request, same integer-ratio
+        division), which is what lets the batched traffic kernel replace the
+        scalar one without perturbing any recorded similarity.
+        """
+        golden, golden_offsets = self.golden_many(keys)
+        return jaccard_index_batch(
+            golden, golden_offsets, candidates, candidate_offsets
         )
 
     def verify(

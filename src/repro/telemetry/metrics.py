@@ -129,6 +129,26 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` observations of the same ``value`` in one update.
+
+        The bulk form the grouped fleet-auth kernel uses to attribute one
+        evaluation group's elapsed time to its requests: bucket occupancy
+        and ``count`` advance exactly as ``count`` individual ``observe``
+        calls would, for one clock read and one dict update per group.
+        """
+        if count < 0:
+            raise ValueError(f"observation count must be non-negative, got {count}")
+        if count == 0:
+            return
+        value = float(value)
+        index = self.bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + count
+        self.count += count
+        self.sum += value * count
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0

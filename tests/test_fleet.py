@@ -15,6 +15,7 @@ import json
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.engine import (
     ExperimentJob,
     FleetEnrollJob,
@@ -22,14 +23,17 @@ from repro.engine import (
     run_sharded,
 )
 from repro.fleet import (
+    SCALAR_ENV_VAR,
     DeviceFleet,
     FleetConfig,
     FleetVerifier,
     GoldenStore,
     TrafficConfig,
     authenticate_block,
+    authenticate_block_scalar,
     authenticate_request,
 )
+from repro.puf.positions import concat_position_arrays
 
 #: Small fleet shared by most tests (CODIC-sig: cheapest evaluation).
 CONFIG = FleetConfig(seed=11, devices=8, puf="CODIC-sig PUF", challenges_per_device=2)
@@ -166,6 +170,83 @@ class TestGoldenStore:
             )
 
 
+class TestGoldenStoreBatch:
+    def build_store(self) -> GoldenStore:
+        store = GoldenStore()
+        store.add(0, 0, np.array([3, 17, 99], dtype=np.int64))
+        store.add(0, 1, np.array([], dtype=np.int64))
+        store.add(4, 0, np.array([5], dtype=np.int64))
+        return store
+
+    def test_get_many_gathers_in_key_order(self):
+        store = self.build_store()
+        # Repeated and out-of-insertion-order keys gather repeatedly.
+        keys = [(4, 0), (0, 0), (0, 1), (0, 0)]
+        buffer, offsets = store.get_many(keys)
+        assert offsets.tolist() == [0, 1, 4, 4, 7]
+        assert buffer.tolist() == [5, 3, 17, 99, 3, 17, 99]
+        for index, key in enumerate(keys):
+            assert (
+                buffer[offsets[index] : offsets[index + 1]].tolist()
+                == store.get(*key).tolist()
+            )
+
+    def test_get_many_empty_and_missing(self):
+        store = self.build_store()
+        buffer, offsets = store.get_many([])
+        assert buffer.size == 0 and offsets.tolist() == [0]
+        with pytest.raises(KeyError, match="not enrolled"):
+            store.get_many([(0, 0), (9, 9)])
+
+    def test_arrays_roundtrip(self):
+        store = self.build_store()
+        arrays = store.to_arrays()
+        assert arrays["keys"].dtype == np.int64
+        assert arrays["keys"].tolist() == [[0, 0], [0, 1], [4, 0]]
+        assert arrays["counts"].tolist() == [3, 0, 1]
+        assert arrays["positions"].tolist() == [3, 17, 99, 5]
+        rebuilt = GoldenStore.from_arrays(arrays)
+        assert len(rebuilt) == 3
+        assert rebuilt.get(0, 0).tolist() == [3, 17, 99]
+        assert rebuilt.get(0, 1).size == 0
+        # to_payload is exactly the listified arrays form.
+        assert store.to_payload() == {
+            key: value.tolist() for key, value in arrays.items()
+        }
+
+    def test_install_arrays_is_idempotent(self):
+        store = self.build_store()
+        arrays = store.to_arrays()
+        other = GoldenStore()
+        other.add(4, 0, np.array([5], dtype=np.int64))  # overlapping slot
+        assert other.install_arrays(**arrays) == 2  # only the missing slots
+        assert other.install_arrays(**arrays) == 0  # second pass is a no-op
+        assert len(other) == 3
+        assert other.total_positions == store.total_positions
+
+    def test_install_arrays_inconsistent_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            GoldenStore().install_arrays(
+                keys=np.array([[0, 0]]), counts=np.array([2]), positions=np.array([1])
+            )
+
+    def test_merge_arrays_matches_merge_payloads(self):
+        first, second = self.build_store(), GoldenStore()
+        second.add(7, 0, np.array([1, 2], dtype=np.int64))
+        merged = GoldenStore.merge_arrays([first.to_arrays(), second.to_arrays()])
+        listified = GoldenStore.merge_payloads(
+            [first.to_payload(), second.to_payload()]
+        )
+        assert {k: v.tolist() for k, v in merged.items()} == {
+            "keys": [list(key) for key in listified["keys"]],
+            "counts": listified["counts"],
+            "positions": listified["positions"],
+        }
+        empty = GoldenStore.merge_arrays([])
+        assert empty["keys"].shape == (0, 2)
+        assert empty["counts"].size == 0 and empty["positions"].size == 0
+
+
 class TestFleetVerifier:
     def test_lazy_golden_equals_eager_enrollment(self):
         lazy_fleet, lazy = fresh_runtime()
@@ -200,6 +281,58 @@ class TestFleetVerifier:
         _, verifier = fresh_runtime()
         with pytest.raises(ValueError, match="device range"):
             verifier.enroll_range(0, CONFIG.devices + 1)
+
+    def test_golden_many_lazily_enrolls_and_matches_scalar(self):
+        _, batch = fresh_runtime()
+        _, scalar = fresh_runtime()
+        keys = [(5, 1), (0, 0), (5, 1), (3, 0)]  # scrambled, with a repeat
+        buffer, offsets = batch.golden_many(keys)
+        assert len(batch.store) == 3  # unique slots only
+        for index, key in enumerate(keys):
+            assert (
+                buffer[offsets[index] : offsets[index + 1]].tolist()
+                == scalar.golden(*key).tolist()
+            )
+
+    def test_similarity_batch_matches_scalar_similarity(self):
+        fleet, batch = fresh_runtime()
+        _, scalar = fresh_runtime()
+        keys, responses = [], []
+        for index in range(8):
+            rng = fleet.traffic_rng(index)
+            device_id = index % CONFIG.devices
+            presenter = (device_id + 1) % CONFIG.devices if index % 3 == 0 else device_id
+            challenge = fleet.challenge(device_id, 0)
+            responses.append(
+                fleet.device(presenter).evaluate(challenge, 32.0, rng=rng)
+            )
+            keys.append((device_id, 0))
+        buffer, offsets = concat_position_arrays(
+            [response.position_array for response in responses]
+        )
+        similarities = batch.similarity_batch(keys, buffer, offsets)
+        expected = [
+            scalar.similarity(key[0], key[1], response)
+            for key, response in zip(keys, responses)
+        ]
+        assert similarities.tolist() == expected  # bit-identical floats
+
+    def test_warm_store_equals_lazy_enrollment(self):
+        payload = FleetEnrollJob(
+            fleet_seed=11, devices=8, puf="CODIC-sig PUF", challenges_per_device=2
+        ).run()
+        warm_fleet, warm = fresh_runtime()
+        installed = warm.warm(payload)
+        assert installed == len(warm.store) == 8 * 2
+        lazy_fleet, lazy = fresh_runtime()
+        warm_result = authenticate_block(warm_fleet, warm, TRAFFIC, 0, 24)
+        lazy_result = authenticate_block(lazy_fleet, lazy, TRAFFIC, 0, 24)
+        assert warm_result[0].tolist() == lazy_result[0].tolist()
+        assert warm_result[1].tolist() == lazy_result[1].tolist()
+        # The warmed store was complete: traffic enrolled nothing further,
+        # and warming again is a no-op.
+        assert len(warm.store) == 8 * 2
+        assert warm.warm(payload) == 0
 
 
 class TestTraffic:
@@ -267,6 +400,103 @@ class TestTraffic:
             authenticate_block(fleet, verifier, TRAFFIC, 0, TRAFFIC.requests + 1)
 
 
+class TestBatchedScalarIdentity:
+    """The grouped-evaluation kernel is bit-identical to the scalar loop."""
+
+    CASES = {
+        "mixed": (CONFIG, TRAFFIC),
+        # Two devices at impostor_ratio=1.0: every request exercises the
+        # impostor redraw loop (a 50% collision chance per draw).
+        "redraw-collisions": (
+            FleetConfig(seed=23, devices=2, puf="CODIC-sig PUF"),
+            TrafficConfig(requests=24, impostor_ratio=1.0),
+        ),
+        # Residual aging: the re-enrollment modulo must happen in the plan
+        # phase exactly as in the scalar kernel.
+        "reenroll-aging": (
+            CONFIG,
+            TrafficConfig(
+                requests=24,
+                impostor_ratio=0.3,
+                temperature_jitter_c=2.0,
+                aging_horizon_hours=100.0,
+                reenroll_hours=7.0,
+            ),
+        ),
+        "genuine-only": (CONFIG, TrafficConfig(requests=16, impostor_ratio=0.0)),
+    }
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_block_bit_identical_to_scalar(self, case):
+        config, traffic = self.CASES[case]
+        fleet, verifier = fresh_runtime(config)
+        genuine, impostor = authenticate_block(
+            fleet, verifier, traffic, 0, traffic.requests
+        )
+        ref_fleet, ref_verifier = fresh_runtime(config)
+        want_genuine, want_impostor = authenticate_block_scalar(
+            ref_fleet, ref_verifier, traffic, 0, traffic.requests
+        )
+        assert genuine.tolist() == want_genuine.tolist()
+        assert impostor.tolist() == want_impostor.tolist()
+
+    def test_uneven_partitions_match_scalar(self):
+        ref_fleet, ref_verifier = fresh_runtime()
+        want = authenticate_block_scalar(ref_fleet, ref_verifier, TRAFFIC, 0, 24)
+        parts = []
+        for start, stop in zip([0, 1, 2, 13], [1, 2, 13, 24]):
+            fleet, verifier = fresh_runtime()
+            parts.append(authenticate_block(fleet, verifier, TRAFFIC, start, stop))
+        assert np.concatenate([p[0] for p in parts]).tolist() == want[0].tolist()
+        assert np.concatenate([p[1] for p in parts]).tolist() == want[1].tolist()
+
+    def test_empty_block(self):
+        fleet, verifier = fresh_runtime()
+        genuine, impostor = authenticate_block(fleet, verifier, TRAFFIC, 5, 5)
+        assert genuine.size == 0 and impostor.size == 0
+        assert genuine.dtype == np.float64 and impostor.dtype == np.float64
+
+    def test_degenerate_fleet_raises_identically_in_both_paths(self):
+        config = FleetConfig(seed=3, devices=1, puf="CODIC-sig PUF")
+        traffic = TrafficConfig(requests=64, impostor_ratio=0.5)
+        for kernel in (authenticate_block, authenticate_block_scalar):
+            fleet, verifier = fresh_runtime(config)
+            # Eager check: every block fails, even one whose request range
+            # happens to contain no impostor draw.
+            with pytest.raises(ValueError, match="at least two devices"):
+                kernel(fleet, verifier, traffic, 0, 1)
+
+    def test_env_var_forces_the_scalar_path(self, monkeypatch):
+        from repro.fleet import traffic as traffic_module
+
+        def fail(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("batched plan phase ran under REPRO_FLEET_SCALAR=1")
+
+        monkeypatch.setenv(SCALAR_ENV_VAR, "1")
+        monkeypatch.setattr(traffic_module, "_plan_block", fail)
+        fleet, verifier = fresh_runtime()
+        genuine, impostor = authenticate_block(fleet, verifier, TRAFFIC, 0, 8)
+        assert genuine.size + impostor.size == 8
+
+    def test_latency_histogram_counts_sum_to_requests(self):
+        telemetry.registry().reset()
+        telemetry.enable_collection()
+        try:
+            fleet, verifier = fresh_runtime()
+            authenticate_block(fleet, verifier, TRAFFIC, 0, 24)
+            latency = telemetry.registry().histogram(telemetry.FLEET_AUTH_SECONDS)
+            # Group-amortized timing still attributes one observation per
+            # request (the per-group mean), so downstream percentile math
+            # sees the same population size as the scalar path.
+            assert latency.count == 24
+            assert latency.sum > 0.0
+            requests = telemetry.registry().counter(telemetry.FLEET_AUTH_REQUESTS)
+            assert requests.value == 24
+        finally:
+            telemetry.disable_collection()
+            telemetry.registry().reset()
+
+
 def traffic_job(**overrides) -> FleetTrafficJob:
     parameters = dict(
         fleet_seed=11,
@@ -318,6 +548,31 @@ class TestFleetTrafficJob:
         outcomes = run_sharded([job], shard_size=7, workers=2)
         assert outcomes[0].value == serial
 
+    def enroll_payload(self):
+        return FleetEnrollJob(
+            fleet_seed=11, devices=8, puf="CODIC-sig PUF", challenges_per_device=2
+        ).run()
+
+    def test_warm_golden_is_an_execution_hint_not_config(self):
+        plain = traffic_job()
+        warm = traffic_job(warm_golden=self.enroll_payload())
+        # Same work, same cache key, same equality: the payload only decides
+        # *who* evaluates the goldens, never what any request records.
+        assert warm.config == plain.config
+        assert warm == plain
+        assert "warm_golden" not in repr(warm)
+
+    def test_warm_golden_run_bit_identical(self):
+        warm = traffic_job(warm_golden=self.enroll_payload())
+        assert warm.run() == traffic_job().run()
+
+    def test_warm_golden_propagates_to_shards(self):
+        warm = traffic_job(warm_golden=self.enroll_payload())
+        shards = warm.shard_jobs(7)
+        serial = traffic_job().run()
+        assert warm.merge([shard.run() for shard in shards]) == serial
+        assert run_sharded([warm], shard_size=7, workers=2)[0].value == serial
+
 
 class TestFleetEnrollJob:
     def test_sharded_enrollment_matches_serial(self):
@@ -325,12 +580,27 @@ class TestFleetEnrollJob:
             fleet_seed=11, devices=8, puf="CODIC-sig PUF", challenges_per_device=2
         )
         serial = job.run()
+        # run() produces the in-process arrays form (no Python-int lists on
+        # the worker handoff path); listification happens only in encode().
+        assert all(isinstance(serial[key], np.ndarray) for key in serial)
         shards = job.shard_jobs(3)
         assert [shard.shard_range() for shard in shards] == [(0, 3), (3, 6), (6, 8)]
-        assert job.merge([shard.run() for shard in shards]) == serial
+        merged = job.merge([shard.run() for shard in shards])
+        assert job.encode(merged) == job.encode(serial)
         # The payload rehydrates into a store covering every slot.
         store = GoldenStore.from_payload(serial)
         assert len(store) == 8 * 2
+
+    def test_encode_decode_roundtrip_through_json(self):
+        job = FleetEnrollJob(
+            fleet_seed=11, devices=8, puf="CODIC-sig PUF", challenges_per_device=2
+        )
+        value = job.run()
+        encoded = job.encode(value)
+        # The encoded form is pure JSON (what the cache and daemon persist).
+        decoded = job.decode(json.loads(json.dumps(encoded)))
+        assert job.encode(decoded) == encoded
+        assert decoded["keys"].dtype == np.int64
 
     def test_enrollment_matches_verifier_goldens(self):
         job = FleetEnrollJob(
@@ -457,6 +727,32 @@ class TestFleetCLI:
         assert "auth latency p50 (ms)" in out
         assert "auth latency p99 (ms)" in out
         assert "auths/sec" in out
+
+    def test_json_deterministic_with_warm_store(self, capsys):
+        base = ["fleet", "--devices", "8", "--requests", "16", "--seed", "11",
+                "--json", "--no-daemon"]
+        code, plain, _ = self.run_cli(base, capsys)
+        assert code == 0
+        code, warm, err = self.run_cli(base + ["--warm-store"], capsys)
+        assert code == 0
+        assert "warm store enrolled" in err
+        assert self.deterministic(plain) == self.deterministic(warm)
+        # Warm store with a sharded worker pool: payload travels to workers.
+        code, warm_sharded, _ = self.run_cli(
+            base + ["--warm-store", "--jobs", "2", "--shard-size", "5"], capsys
+        )
+        assert code == 0
+        assert self.deterministic(plain) == self.deterministic(warm_sharded)
+
+    def test_json_scalar_path_matches_batched(self, capsys, monkeypatch):
+        base = ["fleet", "--devices", "8", "--requests", "16", "--seed", "11",
+                "--json", "--no-daemon"]
+        code, batched, _ = self.run_cli(base, capsys)
+        assert code == 0
+        monkeypatch.setenv(SCALAR_ENV_VAR, "1")
+        code, scalar, _ = self.run_cli(base, capsys)
+        assert code == 0
+        assert self.deterministic(batched) == self.deterministic(scalar)
 
     @pytest.mark.parametrize(
         "argv",

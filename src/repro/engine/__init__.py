@@ -47,12 +47,15 @@ from repro.engine.executor import (
     SCHEDULED,
     STARTED,
     TERMINAL_EVENTS,
+    CancelToken,
     EngineError,
     JobEvent,
     JobOutcome,
+    PoolSupervisor,
     iter_jobs,
     run_jobs,
 )
+from repro.engine.faults import FAULTS_ENV, FaultInjector, FaultPlan
 from repro.engine.jobs import (
     ExperimentJob,
     FleetEnrollJob,
@@ -84,11 +87,15 @@ __all__ = [
     "STARTED",
     "TERMINAL_EVENTS",
     "CacheStats",
+    "CancelToken",
     "DaemonClient",
     "DaemonError",
     "EngineError",
     "ExperimentDaemon",
     "ExperimentJob",
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultPlan",
     "FleetEnrollJob",
     "FleetEnrollShardJob",
     "FleetTrafficJob",
@@ -99,6 +106,7 @@ __all__ = [
     "MemoryIndexCache",
     "MonteCarloPointJob",
     "MonteCarloShardJob",
+    "PoolSupervisor",
     "PUFPairsJob",
     "PUFPairsShardJob",
     "ResultCache",

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro import telemetry
+from repro.engine import faults
 from repro.engine.jobs import Job
 from repro.engine.serialization import canonical_json
 
@@ -165,6 +166,10 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(entry, indent=2, sort_keys=True))
         os.replace(tmp, path)
+        # Chaos hook: a configured fault plan may garble this blob in place;
+        # get() treats an undecodable blob as an evict-then-miss, so the
+        # engine recomputes bit-identically -- exactly what chaos runs assert.
+        faults.injector().on_cache_store(path)
         self.stats.stores += 1
         _count(telemetry.CACHE_STORES)
         return path

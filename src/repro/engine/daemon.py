@@ -22,24 +22,55 @@ the daemon answers with one ``event`` frame per
 :class:`~repro.engine.executor.JobEvent` as shards land, then a ``done``
 frame carrying per-request cache stats), ``fleet`` (one fleet traffic job
 config; same event stream, done frame additionally carries this request's
-auth-latency histogram), ``metrics`` (Prometheus text exposition of the
-daemon's telemetry registry), ``status``, ``ping``, and ``shutdown``.
-Error responses are ``{"type": "error", "message": ...}``.
+auth-latency histogram), ``cancel`` (abort an in-flight request by id),
+``metrics`` (Prometheus text exposition of the daemon's telemetry
+registry), ``status``, ``ping``, and ``shutdown``.  Error responses are
+``{"type": "error", "message": ...}``.
+
+Service semantics (this is a multi-client daemon, not a one-shot pipe):
+
+* Work requests pass through a bounded FIFO :class:`RequestQueue` -- at
+  most ``max_inflight`` execute concurrently, at most ``queue_depth`` wait
+  behind them, and overflow is answered *immediately* with a structured
+  ``busy`` frame instead of a hang.  Admitted requests first receive an
+  ``accepted`` frame carrying their ``request_id`` (client-chosen or
+  daemon-assigned), the handle for ``cancel``.
+* A request may carry ``timeout_s``; when the deadline passes the daemon
+  cancels the request's queued shards (in-flight shards drain into the
+  cache) and answers with a ``timeout`` frame naming the phase
+  (``queued``/``running``).  An explicit ``cancel`` op settles the stream
+  with a ``cancelled`` frame the same way.
+* A killed pool worker breaks the shared ``ProcessPoolExecutor``; the
+  daemon's :class:`~repro.engine.executor.PoolSupervisor` rebuilds it and
+  retries the interrupted jobs with exponential backoff up to a retry
+  budget -- results stay bit-identical because jobs are pure, and only the
+  affected request fails once the budget is exhausted.
+* A client that disconnects mid-stream is reaped: its request's queued
+  shards are cancelled, its in-flight shards drain into the cache, and
+  every other connection keeps streaming.  ``status``/``ping`` bypass the
+  queue entirely (each connection has its own thread), so health checks
+  answer even while the queue is saturated.
 
 The daemon always runs with telemetry collection enabled: work requests
 (``submit``/``fleet``) are timed into the ``daemon_request_seconds``
 histogram and classified warm (every terminal outcome served from cache)
-vs cold, and ``status`` embeds a full metrics snapshot.
+vs cold; busy/timeout/cancelled/disconnect outcomes, queue wait and depth,
+and pool rebuilds are all counted too, and ``status`` embeds a full
+metrics snapshot plus service-health fields.
 
 The CLI degrades gracefully: when no daemon is listening on the socket
-(``$REPRO_DAEMON_SOCKET`` or the per-user default), execution happens
-inline in the invoking process, bit-identically.
+(``$REPRO_DAEMON_SOCKET`` or the per-user default), or the daemon answers
+busy/timeout/stale, execution happens inline in the invoking process,
+bit-identically.  Fault injection for all of the above is driven by
+:mod:`repro.engine.faults` (``$REPRO_FAULTS``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
+import signal
 import socket
 import socketserver
 import subprocess
@@ -48,13 +79,14 @@ import tempfile
 import threading
 import time
 import traceback
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict, deque
 from pathlib import Path
 from typing import Any, BinaryIO, Iterator
 
 from repro import telemetry
+from repro.engine import faults as faults_mod
 from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.executor import CancelToken, PoolSupervisor
 from repro.engine.jobs import ExperimentJob
 from repro.engine.sharding import iter_sharded
 
@@ -62,7 +94,12 @@ from repro.engine.sharding import iter_sharded
 SOCKET_ENV = "REPRO_DAEMON_SOCKET"
 
 #: Protocol version stamped on every request/response frame.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Frame types that settle a submit/fleet stream.
+TERMINAL_FRAME_TYPES = frozenset(
+    {"done", "error", "stale", "busy", "timeout", "cancelled"}
+)
 
 #: Frames larger than this are rejected (corrupt length headers fail fast).
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -136,6 +173,164 @@ def recv_frame(rfile: BinaryIO) -> dict[str, Any] | None:
     return message
 
 
+class _ClientGone(Exception):
+    """The peer of this connection vanished (or a fault dropped it)."""
+
+
+def _pid_file(socket_path: Path) -> Path:
+    return socket_path.with_name(socket_path.name + ".pid")
+
+
+def _lock_file(socket_path: Path) -> Path:
+    return socket_path.with_name(socket_path.name + ".lock")
+
+
+def _read_pid_file(socket_path: Path) -> int | None:
+    try:
+        return int(_pid_file(socket_path).read_text().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - someone else's process
+        return True
+    return True
+
+
+def _acquire_bind_lock(socket_path: Path) -> Path:
+    """Take the ``O_EXCL`` lock guarding stale-socket reclaim + bind.
+
+    Two concurrent ``daemon start`` invocations racing over the same dead
+    socket must not both reclaim it: whoever creates ``<socket>.lock`` wins
+    the reclaim/bind window and the loser fails loudly.  A lock whose
+    recorded owner pid is dead (daemon crashed inside the window) is stolen
+    once.  Returns the lock path; the caller must unlink it after binding.
+    """
+    lock_path = _lock_file(socket_path)
+    socket_path.parent.mkdir(parents=True, exist_ok=True)
+    for attempt in range(3):
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                owner = int(lock_path.read_text().strip() or "0")
+            except (OSError, ValueError):
+                owner = 0
+            if owner and _pid_alive(owner):
+                raise DaemonError(
+                    f"another daemon is binding {socket_path} "
+                    f"(lock {lock_path} held by pid {owner})"
+                )
+            if owner == 0:
+                # Freshly created but not yet stamped with a pid -- give the
+                # creator a beat before declaring the lock stale.
+                time.sleep(0.05)
+                try:
+                    owner = int(lock_path.read_text().strip() or "0")
+                except (OSError, ValueError):
+                    owner = 0
+                if owner and _pid_alive(owner):
+                    raise DaemonError(
+                        f"another daemon is binding {socket_path} "
+                        f"(lock {lock_path} held by pid {owner})"
+                    )
+            try:
+                lock_path.unlink()
+            except OSError:
+                pass
+            continue
+        os.write(fd, str(os.getpid()).encode())
+        os.close(fd)
+        return lock_path
+    raise DaemonError(f"could not acquire bind lock {lock_path}")
+
+
+class RequestQueue:
+    """Bounded FIFO admission control for the daemon's work requests.
+
+    At most ``max_inflight`` requests execute concurrently; up to
+    ``queue_depth`` more wait in arrival order.  :meth:`enter` returns
+    ``"ok"`` once admitted, ``"busy"`` immediately on overflow, or the
+    cancel reason (``"timeout"``/``"cancelled"``/``"disconnected"``) if the
+    request's token fires while it waits.  Queue depth and in-flight count
+    are mirrored into gauges; admitted requests record their queue wait.
+    """
+
+    def __init__(self, max_inflight: int = 4, queue_depth: int = 16):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self._cond = threading.Condition()
+        self._waiting: "deque[CancelToken]" = deque()
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def _update_gauges(self) -> None:
+        if telemetry.collection_enabled():
+            reg = telemetry.registry()
+            reg.gauge(telemetry.DAEMON_INFLIGHT).set(self._inflight)
+            reg.gauge(telemetry.DAEMON_QUEUE_DEPTH).set(len(self._waiting))
+
+    def enter(self, token: CancelToken) -> str:
+        start = time.perf_counter()
+        with self._cond:
+            if self._inflight < self.max_inflight and not self._waiting:
+                self._inflight += 1
+                self._update_gauges()
+                self._observe_wait(start)
+                return "ok"
+            if len(self._waiting) >= self.queue_depth:
+                return "busy"
+            self._waiting.append(token)
+            self._update_gauges()
+            try:
+                while True:
+                    if token.poll():
+                        return token.reason or "cancelled"
+                    if self._waiting and self._waiting[0] is token and (
+                        self._inflight < self.max_inflight
+                    ):
+                        self._waiting.popleft()
+                        self._inflight += 1
+                        self._observe_wait(start)
+                        return "ok"
+                    # Timed wait so token deadlines fire even with no churn.
+                    self._cond.wait(0.05)
+            finally:
+                if token in self._waiting:
+                    self._waiting.remove(token)
+                self._update_gauges()
+                self._cond.notify_all()
+
+    def leave(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._update_gauges()
+            self._cond.notify_all()
+
+    @staticmethod
+    def _observe_wait(start: float) -> None:
+        if telemetry.collection_enabled():
+            telemetry.registry().histogram(
+                telemetry.DAEMON_QUEUE_WAIT_SECONDS
+            ).observe(time.perf_counter() - start)
+
+
 class MemoryIndexCache:
     """Write-through in-memory LRU index over an on-disk :class:`ResultCache`.
 
@@ -193,16 +388,23 @@ class MemoryIndexCache:
             self._index.popitem(last=False)
 
 
-def _warm_worker(index: int) -> int:
-    """No-op task submitted at startup so pool workers fork ahead of time."""
-    return index
-
-
 class _Handler(socketserver.StreamRequestHandler):
     """One connection: a single request frame, then a response stream."""
 
+    def setup(self) -> None:
+        super().setup()
+        self._frames_sent = 0
+
     def handle(self) -> None:  # pragma: no cover - exercised via the client
         daemon: ExperimentDaemon = self.server.daemon  # type: ignore[attr-defined]
+        if daemon.faults.on_connection():
+            return  # injected accept refusal: close without responding
+        try:
+            self._handle(daemon)
+        except _ClientGone:
+            pass  # peer vanished; per-request cleanup already happened
+
+    def _handle(self, daemon: "ExperimentDaemon") -> None:
         try:
             request = recv_frame(self.rfile)
         except DaemonError as error:
@@ -226,11 +428,19 @@ class _Handler(socketserver.StreamRequestHandler):
                 )
             elif op in ("submit", "fleet"):
                 self._handle_work(daemon, request, op)
+            elif op == "cancel":
+                request_id = str(request.get("request_id") or "")
+                cancelled = daemon.cancel_request(request_id)
+                self._send(
+                    {"type": "ok", "request_id": request_id, "cancelled": cancelled}
+                )
             elif op == "shutdown":
                 self._send({"type": "ok", "pid": os.getpid()})
                 daemon.request_shutdown()
             else:
                 self._send({"type": "error", "message": f"unknown op {op!r}"})
+        except _ClientGone:
+            raise
         except BrokenPipeError:
             pass  # client went away mid-stream; nothing to clean up here
         except Exception:
@@ -239,40 +449,142 @@ class _Handler(socketserver.StreamRequestHandler):
     def _handle_work(
         self, daemon: "ExperimentDaemon", request: dict[str, Any], op: str
     ) -> None:
-        """Run one work request under a span with warm/cold classification.
+        """Admit, run, and settle one work request.
+
+        Flow: validate (error/stale frames bypass the queue) -> register a
+        :class:`~repro.engine.executor.CancelToken` under the request id ->
+        ``accepted`` frame -> FIFO admission (overflow answers ``busy``,
+        cancellation while queued answers ``timeout``/``cancelled``) ->
+        stream events with the token threaded through the engine -> settle
+        with ``done`` or the structured cancellation frame.  A client that
+        disconnects mid-stream cancels its own token; the stream drains
+        silently (in-flight shards still land in the cache) and no settle
+        frame is sent.
 
         A request is *warm* when every terminal outcome was served from
-        cache (the pool never ran -- the handler's done payload reports zero
-        misses); refused requests (bad arguments, stale code version) count
-        as neither.  The handlers return the ``done`` frame instead of
-        sending it so every metric is updated *before* the client sees the
-        request complete -- a ``status`` issued right after ``done`` must
-        already include this request.
+        cache; refused/busy/cancelled requests count as neither.  The run
+        helpers return the ``done`` frame instead of sending it so every
+        metric is updated *before* the client sees the request complete.
         """
         reg = telemetry.registry()
         reg.counter(telemetry.DAEMON_REQUESTS).inc()
-        start = time.perf_counter()
-        with telemetry.span("daemon.request", kind="daemon", op=op):
-            if op == "submit":
-                done = self._handle_submit(daemon, request)
-            else:
-                done = self._handle_fleet(daemon, request)
-        reg.histogram(telemetry.DAEMON_REQUEST_SECONDS).observe(
-            time.perf_counter() - start
+        prepared = (
+            self._prepare_submit(daemon, request)
+            if op == "submit"
+            else self._prepare_fleet(daemon, request)
         )
-        if done is not None:
-            reg.counter(
-                telemetry.DAEMON_REQUESTS_WARM
-                if done["misses"] == 0
-                else telemetry.DAEMON_REQUESTS_COLD
-            ).inc()
-            self._send(done)
+        if prepared is None:
+            return
+        timeout_s = request.get("timeout_s")
+        if timeout_s is not None and (
+            not isinstance(timeout_s, (int, float)) or timeout_s <= 0
+        ):
+            self._send(
+                {"type": "error", "message": "timeout_s must be a positive number"}
+            )
+            return
+        deadline = time.monotonic() + timeout_s if timeout_s is not None else None
+        token = CancelToken(deadline=deadline)
+        request_id = str(request.get("request_id") or daemon.next_request_id())
+        if not daemon.register_request(request_id, token):
+            self._send(
+                {
+                    "type": "error",
+                    "message": f"request_id {request_id!r} is already in flight",
+                }
+            )
+            return
+        try:
+            self._send(
+                {
+                    "type": "accepted",
+                    "request_id": request_id,
+                    "inflight": daemon.queue.inflight,
+                    "queued": daemon.queue.queued,
+                }
+            )
+            admission = daemon.queue.enter(token)
+            if admission == "busy":
+                reg.counter(telemetry.DAEMON_REQUESTS_BUSY).inc()
+                self._send(
+                    {
+                        "type": "busy",
+                        "request_id": request_id,
+                        "message": (
+                            f"daemon at capacity ({daemon.queue.max_inflight} "
+                            f"in flight, {daemon.queue.queued} queued, "
+                            f"depth limit {daemon.queue.queue_depth})"
+                        ),
+                    }
+                )
+                return
+            if admission != "ok":
+                self._settle_cancelled(reg, request_id, token, phase="queued")
+                return
+            try:
+                start = time.perf_counter()
+                with telemetry.span("daemon.request", kind="daemon", op=op):
+                    done = self._run_work(daemon, request, op, prepared, token)
+                reg.histogram(telemetry.DAEMON_REQUEST_SECONDS).observe(
+                    time.perf_counter() - start
+                )
+            finally:
+                daemon.queue.leave()
+            if token.cancelled:
+                self._settle_cancelled(reg, request_id, token, phase="running")
+                return
+            if done is not None:
+                reg.counter(
+                    telemetry.DAEMON_REQUESTS_WARM
+                    if done["misses"] == 0
+                    else telemetry.DAEMON_REQUESTS_COLD
+                ).inc()
+                self._send({**done, "request_id": request_id})
+        except _ClientGone:
+            token.cancel("disconnected")
+            reg.counter(telemetry.DAEMON_DISCONNECTS).inc()
+            raise
+        finally:
+            daemon.unregister_request(request_id)
+
+    def _settle_cancelled(
+        self, reg, request_id: str, token: CancelToken, *, phase: str
+    ) -> None:
+        """Send the structured frame matching why this request was aborted."""
+        reason = token.reason or "cancelled"
+        if reason == "timeout":
+            reg.counter(telemetry.DAEMON_REQUESTS_TIMEOUT).inc()
+            self._send(
+                {
+                    "type": "timeout",
+                    "request_id": request_id,
+                    "phase": phase,
+                    "message": f"request deadline passed while {phase}",
+                }
+            )
+        elif reason == "disconnected":
+            reg.counter(telemetry.DAEMON_DISCONNECTS).inc()
+            # The peer is gone; nothing to send.
+        else:
+            reg.counter(telemetry.DAEMON_REQUESTS_CANCELLED).inc()
+            self._send(
+                {"type": "cancelled", "request_id": request_id, "phase": phase}
+            )
 
     def _send(self, message: dict[str, Any]) -> None:
+        daemon: ExperimentDaemon = self.server.daemon  # type: ignore[attr-defined]
+        if daemon.faults.on_frame_send(self._frames_sent):
+            # Injected drop: tear the connection down as a crashed peer would.
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            raise _ClientGone("injected connection drop")
         try:
             send_frame(self.wfile, message)
-        except (BrokenPipeError, ConnectionResetError, OSError):
-            pass
+        except (BrokenPipeError, ConnectionResetError, OSError) as error:
+            raise _ClientGone(str(error)) from None
+        self._frames_sent += 1
 
     def _check_shard_size(self, request: dict[str, Any]) -> bool:
         shard_size = request.get("shard_size")
@@ -302,12 +614,12 @@ class _Handler(socketserver.StreamRequestHandler):
             return False
         return True
 
-    def _handle_submit(
+    def _prepare_submit(
         self, daemon: "ExperimentDaemon", request: dict[str, Any]
-    ) -> dict[str, Any] | None:
-        """Stream one submit request's events; returns the unsent done frame
-        (``None`` when the request was refused and an error/stale frame
-        already went out)."""
+    ) -> list[ExperimentJob] | None:
+        """Validate a submit request into its root jobs (``None`` = refused,
+        an error/stale frame already went out).  Validation happens *before*
+        queue admission so malformed requests never occupy a slot."""
         from repro.experiments.registry import EXPERIMENTS
 
         experiments = request.get("experiments") or []
@@ -322,62 +634,18 @@ class _Handler(socketserver.StreamRequestHandler):
                 }
             )
             return None
-        quick = bool(request.get("quick", True))
         if not self._check_shard_size(request):
             return None
         if not self._check_code_version(daemon, request):
             return None
-        jobs = [ExperimentJob(eid, quick=quick) for eid in experiments]
-        roots = {id(job) for job in jobs}
-        memory0 = daemon.cache.memory_hits
-        served = computed = 0
-        for event in iter_sharded(
-            jobs,
-            shard_size=request.get("shard_size"),
-            workers=daemon.workers,
-            cache=daemon.cache,
-            fail_fast=bool(request.get("fail_fast", True)),
-            ordered=bool(request.get("ordered", False)),
-            pool=daemon.pool,
-        ):
-            if event.terminal:
-                daemon.count_job()
-                if event.outcome is not None and event.outcome.cached:
-                    served += 1
-                else:
-                    computed += 1
-            include_value = (
-                event.terminal
-                and id(event.job) in roots
-                and event.outcome is not None
-                and event.outcome.ok
-            )
-            self._send(
-                {"type": "event", "event": event.to_dict(include_value=include_value)}
-            )
-        # hits/misses are derived from this request's own events (exact even
-        # under concurrent submits); memory_hits is a global-counter delta and
-        # therefore only attributable when requests do not overlap.
-        return {
-            "type": "done",
-            "hits": served,
-            "misses": computed,
-            "memory_hits": daemon.cache.memory_hits - memory0,
-        }
+        quick = bool(request.get("quick", True))
+        return [ExperimentJob(eid, quick=quick) for eid in experiments]
 
-    def _handle_fleet(
+    def _prepare_fleet(
         self, daemon: "ExperimentDaemon", request: dict[str, Any]
-    ) -> dict[str, Any] | None:
-        """Run one fleet traffic job, streaming events; returns the unsent
-        ``done`` frame (``None`` on refusal).
-
-        The done frame carries this request's per-auth latency histogram --
-        the delta of the daemon registry's ``fleet_auth_request_seconds``
-        across the run (exact bucket arithmetic; like ``memory_hits`` it is
-        only attributable to one request while requests do not overlap).  A
-        warm (fully cached) request computes nothing, so its latency
-        histogram is empty.
-        """
+    ) -> list[Any] | None:
+        """Validate a fleet request into its single traffic job (``None`` =
+        refused)."""
         from repro.engine.jobs import FleetTrafficJob
 
         config = request.get("job")
@@ -393,18 +661,50 @@ class _Handler(socketserver.StreamRequestHandler):
         except (TypeError, ValueError) as error:
             self._send({"type": "error", "message": f"bad fleet job config: {error}"})
             return None
+        return [job]
+
+    def _run_work(
+        self,
+        daemon: "ExperimentDaemon",
+        request: dict[str, Any],
+        op: str,
+        jobs: list[Any],
+        token: CancelToken,
+    ) -> dict[str, Any] | None:
+        """Stream one admitted request's events; returns the unsent ``done``
+        frame, or ``None`` when the request was cancelled mid-stream (the
+        caller settles it from the token).
+
+        A failed frame send marks the client gone and cancels the token, but
+        the event stream is still drained to completion silently: in-flight
+        shards land in the cache (a reconnecting client gets them warm) and
+        queued shards are cancelled by the engine's drain contract.
+
+        For fleet requests the done frame carries this request's per-auth
+        latency histogram -- the delta of the daemon registry's
+        ``fleet_auth_request_seconds`` across the run (exact bucket
+        arithmetic; like ``memory_hits`` it is only attributable to one
+        request while requests do not overlap).
+        """
         reg = telemetry.registry()
-        auth_latency = reg.histogram(telemetry.FLEET_AUTH_SECONDS)
-        before = telemetry.Histogram.from_dict(auth_latency.to_dict())
+        roots = {id(job) for job in jobs}
+        memory0 = daemon.cache.memory_hits
+        auth_latency = before = None
+        if op == "fleet":
+            auth_latency = reg.histogram(telemetry.FLEET_AUTH_SECONDS)
+            before = telemetry.Histogram.from_dict(auth_latency.to_dict())
         start = time.perf_counter()
         served = computed = 0
+        client_gone = False
         for event in iter_sharded(
-            [job],
+            jobs,
             shard_size=request.get("shard_size"),
             workers=daemon.workers,
             cache=daemon.cache,
-            fail_fast=True,
-            pool=daemon.pool,
+            fail_fast=bool(request.get("fail_fast", True)),
+            ordered=bool(request.get("ordered", False)) if op == "submit" else False,
+            pool=daemon.supervisor,
+            cancel=token,
         ):
             if event.terminal:
                 daemon.count_job()
@@ -412,22 +712,39 @@ class _Handler(socketserver.StreamRequestHandler):
                     served += 1
                 else:
                     computed += 1
+            if client_gone:
+                continue
             include_value = (
                 event.terminal
-                and event.job is job
+                and id(event.job) in roots
                 and event.outcome is not None
                 and event.outcome.ok
             )
-            self._send(
-                {"type": "event", "event": event.to_dict(include_value=include_value)}
-            )
-        return {
+            try:
+                self._send(
+                    {
+                        "type": "event",
+                        "event": event.to_dict(include_value=include_value),
+                    }
+                )
+            except _ClientGone:
+                client_gone = True
+                token.cancel("disconnected")
+        if client_gone or token.cancelled:
+            return None
+        # hits/misses are derived from this request's own events (exact even
+        # under concurrent submits); memory_hits is a global-counter delta and
+        # therefore only attributable when requests do not overlap.
+        done = {
             "type": "done",
             "hits": served,
             "misses": computed,
-            "elapsed_s": round(time.perf_counter() - start, 6),
-            "latency": auth_latency.subtract(before).to_dict(),
+            "memory_hits": daemon.cache.memory_hits - memory0,
         }
+        if op == "fleet":
+            done["elapsed_s"] = round(time.perf_counter() - start, 6)
+            done["latency"] = auth_latency.subtract(before).to_dict()
+        return done
 
 
 if hasattr(socketserver, "ThreadingUnixStreamServer"):
@@ -442,7 +759,8 @@ else:  # pragma: no cover - platforms without AF_UNIX: daemon mode unavailable
 class ExperimentDaemon:
     """Long-lived experiment server bound to one unix socket.
 
-    Owns the process pool and the memory-indexed cache; every connection is
+    Owns the self-healing process pool (:class:`PoolSupervisor`), the
+    memory-indexed cache, and the admission queue; every connection is
     handled on its own thread, all sharing the pool (each request waits only
     on its own futures, so concurrent submits interleave safely).
     """
@@ -453,17 +771,30 @@ class ExperimentDaemon:
         cache_dir: str | Path | None = None,
         workers: int = 2,
         trace: str | Path | None = None,
+        max_inflight: int = 4,
+        queue_depth: int = 16,
+        retry_attempts: int = 3,
+        retry_backoff_s: float = 0.1,
+        faults: "faults_mod.FaultInjector | None" = None,
     ):
         self.socket_path = Path(socket_path) if socket_path else default_socket_path()
         self.cache = MemoryIndexCache(
             ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
         )
         self.workers = max(1, int(workers))
-        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.supervisor = PoolSupervisor(
+            self.workers, max_attempts=max(1, int(retry_attempts)),
+            backoff_s=retry_backoff_s,
+        )
+        self.queue = RequestQueue(max_inflight=max_inflight, queue_depth=queue_depth)
+        self.faults = faults if faults is not None else faults_mod.injector()
         self.started_at = time.time()
         self.requests = 0
         self.jobs_completed = 0
         self._counters_lock = threading.Lock()
+        self._requests_lock = threading.Lock()
+        self._active_requests: dict[str, CancelToken] = {}
+        self._request_seq = 0
         self._server: _Server | None = None
         # A service measures itself: collection is always on in the daemon
         # (the cost is a few counter bumps per request, and status/metrics
@@ -473,6 +804,11 @@ class ExperimentDaemon:
         if self.trace_path is not None:
             telemetry.enable_tracing(telemetry.TraceWriter(self.trace_path))
 
+    @property
+    def pool(self) -> PoolSupervisor:
+        """The work pool (supervisor-wrapped; kept for API compatibility)."""
+        return self.supervisor
+
     def count_request(self) -> None:
         with self._counters_lock:
             self.requests += 1
@@ -481,7 +817,35 @@ class ExperimentDaemon:
         with self._counters_lock:
             self.jobs_completed += 1
 
+    def next_request_id(self) -> str:
+        with self._requests_lock:
+            self._request_seq += 1
+            return f"req-{self._request_seq}"
+
+    def register_request(self, request_id: str, token: CancelToken) -> bool:
+        """Track an in-flight request; ``False`` when the id is taken."""
+        with self._requests_lock:
+            if request_id in self._active_requests:
+                return False
+            self._active_requests[request_id] = token
+            return True
+
+    def unregister_request(self, request_id: str) -> None:
+        with self._requests_lock:
+            self._active_requests.pop(request_id, None)
+
+    def cancel_request(self, request_id: str) -> bool:
+        """Fire the cancel token of an in-flight request (the ``cancel`` op)."""
+        with self._requests_lock:
+            token = self._active_requests.get(request_id)
+        if token is None:
+            return False
+        token.cancel("cancelled")
+        return True
+
     def status(self) -> dict[str, Any]:
+        with self._requests_lock:
+            active = len(self._active_requests)
         return {
             "v": PROTOCOL_VERSION,
             "pid": os.getpid(),
@@ -491,6 +855,14 @@ class ExperimentDaemon:
             "uptime_s": round(time.time() - self.started_at, 3),
             "requests": self.requests,
             "jobs_completed": self.jobs_completed,
+            "inflight": self.queue.inflight,
+            "queued": self.queue.queued,
+            "active_requests": active,
+            "max_inflight": self.queue.max_inflight,
+            "queue_depth_limit": self.queue.queue_depth,
+            "pool_size": self.workers,
+            "pool_rebuilds": self.supervisor.rebuilds,
+            "retry_attempts": self.supervisor.max_attempts,
             "index_entries": len(self.cache),
             "memory_hits": self.cache.memory_hits,
             "disk_hits": self.cache.disk_hits,
@@ -507,47 +879,74 @@ class ExperimentDaemon:
     def serve_forever(self) -> None:
         """Bind the socket and serve until :meth:`request_shutdown`.
 
-        A stale socket file from a crashed daemon is reclaimed; a live one
-        raises :class:`DaemonError` instead of hijacking it.
+        Stale-socket reclaim and the bind itself happen under the
+        ``<socket>.lock`` ``O_EXCL`` lock file, so two daemons racing over
+        the same dead socket cannot both reclaim it: one binds, the other
+        fails loudly.  A live socket raises :class:`DaemonError` instead of
+        hijacking it.  The daemon's pid is published next to the socket
+        (``<socket>.pid``) so a wedged daemon can be force-stopped.
         """
         if _Server is None:
             raise DaemonError("daemon mode requires AF_UNIX socket support")
-        if self.socket_path.exists():
-            if DaemonClient(self.socket_path).is_running():
-                raise DaemonError(f"daemon already running on {self.socket_path}")
-            self.socket_path.unlink()
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = _acquire_bind_lock(self.socket_path)
+        try:
+            if self.socket_path.exists():
+                if DaemonClient(self.socket_path, timeout=5.0).is_running():
+                    raise DaemonError(
+                        f"daemon already running on {self.socket_path}"
+                    )
+                self.socket_path.unlink()
+            self._server = _Server(str(self.socket_path), _Handler)
+        finally:
+            try:
+                lock_path.unlink()
+            except OSError:
+                pass
+        self._server.daemon = self  # type: ignore[attr-defined]
+        pid_path = _pid_file(self.socket_path)
+        pid_path.write_text(f"{os.getpid()}\n")
         # Fork the workers and import the experiment drivers now, so even the
         # first request is served warm (the source fingerprint was already
         # hashed when the cache was constructed).
-        for _ in self.pool.map(_warm_worker, range(self.workers)):
-            pass
+        self.supervisor.warm()
         from repro.experiments import registry  # noqa: F401 - pre-import drivers
 
-        self._server = _Server(str(self.socket_path), _Handler)
-        self._server.daemon = self  # type: ignore[attr-defined]
         try:
             self._server.serve_forever(poll_interval=0.1)
         finally:
             self._server.server_close()
             self._server = None
-            try:
-                self.socket_path.unlink()
-            except OSError:
-                pass
-            self.pool.shutdown(wait=False, cancel_futures=True)
+            for leftover in (self.socket_path, pid_path):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+            self.supervisor.shutdown(wait=False, cancel_futures=True)
 
 
 class DaemonClient:
-    """Client side of the daemon protocol."""
+    """Client side of the daemon protocol.
 
-    def __init__(self, socket_path: str | Path | None = None, timeout: float = 300.0):
+    ``timeout`` bounds every read on an established stream (a wedged daemon
+    cannot hang the client forever); ``connect_timeout`` bounds the initial
+    connect separately so liveness probes stay fast.  One-shot requests can
+    opt into jittered retry-backoff on transient errors (refused accepts,
+    truncated responses) via ``retries``.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path | None = None,
+        timeout: float = 300.0,
+        connect_timeout: float = 10.0,
+    ):
         self.socket_path = Path(socket_path) if socket_path else default_socket_path()
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
 
     def _connect(self) -> socket.socket:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
+        sock.settimeout(self.connect_timeout)
         try:
             sock.connect(str(self.socket_path))
         except OSError as error:
@@ -555,10 +954,34 @@ class DaemonClient:
             raise DaemonError(
                 f"no daemon listening on {self.socket_path}: {error}"
             ) from None
+        sock.settimeout(self.timeout)
         return sock
 
-    def request(self, message: dict[str, Any]) -> dict[str, Any]:
-        """One-shot request returning the single response frame."""
+    def request(
+        self,
+        message: dict[str, Any],
+        *,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+    ) -> dict[str, Any]:
+        """One-shot request returning the single response frame.
+
+        With ``retries`` transient failures (connection refused/reset,
+        truncated response) are retried after exponential backoff with full
+        jitter -- ``uniform(0, backoff_s * 2**attempt)`` -- so a burst of
+        retrying clients does not stampede the daemon in lockstep.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(message)
+            except DaemonError:
+                if attempt >= retries:
+                    raise
+                time.sleep(random.uniform(0, backoff_s * (2 ** attempt)))
+                attempt += 1
+
+    def _request_once(self, message: dict[str, Any]) -> dict[str, Any]:
         try:
             with self._connect() as sock, sock.makefile("rwb") as stream:
                 send_frame(stream, {"v": PROTOCOL_VERSION, **message})
@@ -570,6 +993,27 @@ class DaemonClient:
             raise DaemonError("daemon closed the connection without responding")
         return response
 
+    def _stream(self, request: dict[str, Any]) -> Iterator[dict[str, Any]]:
+        """Send one work request and yield frames through the terminal one.
+
+        Terminal frames: ``done`` on success, or the structured refusal /
+        abort frames (``error``, ``stale``, ``busy``, ``timeout``,
+        ``cancelled``).  A stream that ends without one raises
+        :class:`DaemonError` -- the daemon died or dropped the connection.
+        """
+        try:
+            with self._connect() as sock, sock.makefile("rwb") as stream:
+                send_frame(stream, request)
+                while True:
+                    frame = recv_frame(stream)
+                    if frame is None:
+                        raise DaemonError("daemon stream ended before the done frame")
+                    yield frame
+                    if frame.get("type") in TERMINAL_FRAME_TYPES:
+                        return
+        except OSError as error:
+            raise DaemonError(f"daemon connection failed: {error}") from None
+
     def submit(
         self,
         experiments: list[str],
@@ -579,38 +1023,33 @@ class DaemonClient:
         ordered: bool = False,
         fail_fast: bool = True,
         code_version: str | None = None,
+        timeout_s: float | None = None,
+        request_id: str | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Submit experiments; yield ``event`` frames then the ``done`` frame.
 
         Pass the client's :func:`~repro.engine.cache.source_fingerprint` as
         ``code_version`` to be refused (a single ``stale`` frame) when the
         daemon was started from different package sources -- a stale daemon
-        must not silently serve results keyed under old code.
+        must not silently serve results keyed under old code.  ``timeout_s``
+        sets a server-side deadline (a ``timeout`` frame settles the
+        stream); ``request_id`` names the request for the ``cancel`` op
+        (the daemon assigns one otherwise, echoed in ``accepted``).
         """
-        try:
-            with self._connect() as sock, sock.makefile("rwb") as stream:
-                send_frame(
-                    stream,
-                    {
-                        "v": PROTOCOL_VERSION,
-                        "op": "submit",
-                        "experiments": list(experiments),
-                        "quick": quick,
-                        "shard_size": shard_size,
-                        "ordered": ordered,
-                        "fail_fast": fail_fast,
-                        "code_version": code_version,
-                    },
-                )
-                while True:
-                    frame = recv_frame(stream)
-                    if frame is None:
-                        raise DaemonError("daemon stream ended before the done frame")
-                    yield frame
-                    if frame.get("type") in ("done", "error", "stale"):
-                        return
-        except OSError as error:
-            raise DaemonError(f"daemon connection failed: {error}") from None
+        return self._stream(
+            {
+                "v": PROTOCOL_VERSION,
+                "op": "submit",
+                "experiments": list(experiments),
+                "quick": quick,
+                "shard_size": shard_size,
+                "ordered": ordered,
+                "fail_fast": fail_fast,
+                "code_version": code_version,
+                "timeout_s": timeout_s,
+                "request_id": request_id,
+            }
+        )
 
     def fleet(
         self,
@@ -618,32 +1057,32 @@ class DaemonClient:
         *,
         shard_size: int | None = None,
         code_version: str | None = None,
+        timeout_s: float | None = None,
+        request_id: str | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Submit one fleet traffic job config; yield ``event`` frames then
         the ``done`` frame (which carries the request's auth-latency
-        histogram).  Staleness semantics match :meth:`submit`.
+        histogram).  Staleness/deadline/cancel semantics match
+        :meth:`submit`.
         """
-        try:
-            with self._connect() as sock, sock.makefile("rwb") as stream:
-                send_frame(
-                    stream,
-                    {
-                        "v": PROTOCOL_VERSION,
-                        "op": "fleet",
-                        "job": dict(job_config),
-                        "shard_size": shard_size,
-                        "code_version": code_version,
-                    },
-                )
-                while True:
-                    frame = recv_frame(stream)
-                    if frame is None:
-                        raise DaemonError("daemon stream ended before the done frame")
-                    yield frame
-                    if frame.get("type") in ("done", "error", "stale"):
-                        return
-        except OSError as error:
-            raise DaemonError(f"daemon connection failed: {error}") from None
+        return self._stream(
+            {
+                "v": PROTOCOL_VERSION,
+                "op": "fleet",
+                "job": dict(job_config),
+                "shard_size": shard_size,
+                "code_version": code_version,
+                "timeout_s": timeout_s,
+                "request_id": request_id,
+            }
+        )
+
+    def cancel(self, request_id: str) -> bool:
+        """Cancel an in-flight request by id; ``True`` when one was found."""
+        response = self.request({"op": "cancel", "request_id": request_id})
+        if response.get("type") != "ok":
+            raise DaemonError(f"unexpected cancel response: {response}")
+        return bool(response.get("cancelled"))
 
     def metrics(self) -> str:
         """Prometheus text exposition of the daemon's metrics registry."""
@@ -675,6 +1114,8 @@ def start_daemon(
     workers: int = 2,
     wait_s: float = 30.0,
     trace: str | Path | None = None,
+    max_inflight: int = 4,
+    queue_depth: int = 16,
 ) -> int:
     """Spawn a detached daemon process and wait until it answers pings.
 
@@ -695,6 +1136,10 @@ def start_daemon(
         str(path),
         "--workers",
         str(workers),
+        "--max-inflight",
+        str(max_inflight),
+        "--queue-depth",
+        str(queue_depth),
     ]
     if cache_dir is not None:
         argv += ["--cache-dir", str(cache_dir)]
@@ -735,25 +1180,76 @@ def start_daemon(
     raise DaemonError(f"daemon did not bind {path} within {wait_s:g}s; see {log_path}")
 
 
-def stop_daemon(socket_path: str | Path | None = None, wait_s: float = 10.0) -> bool:
-    """Ask the daemon on ``socket_path`` to shut down; ``False`` if none runs.
+def stop_daemon(
+    socket_path: str | Path | None = None,
+    wait_s: float = 10.0,
+    *,
+    force: bool = False,
+) -> str | bool:
+    """Stop the daemon on ``socket_path``; reports which path was taken.
 
-    Raises :class:`DaemonError` if the daemon acknowledged the shutdown but
-    is still answering pings after ``wait_s`` -- a wedged daemon must not be
-    reported as stopped.
+    Returns ``"graceful"`` when the daemon acknowledged the shutdown op and
+    exited within ``wait_s``, ``"forced"`` when the SIGKILL escalation was
+    needed (only with ``force=True``), or ``False`` when no daemon runs
+    there.  Without ``force``, a daemon that is still running after the
+    graceful deadline -- wedged, or not even answering its socket while its
+    published pid is alive -- raises :class:`DaemonError` telling the
+    operator to retry with force.
+
+    The forced path SIGKILLs the pid from ``<socket>.pid`` and cleans up the
+    socket/pid files the daemon can no longer remove itself.
     """
     path = Path(socket_path) if socket_path else default_socket_path()
-    client = DaemonClient(path)
+    # Short probe timeouts: a wedged daemon accepts into the kernel backlog
+    # but never answers; the stop path must not hang on it.
+    probe_timeout = max(0.1, min(wait_s, 5.0))
+    client = DaemonClient(path, timeout=probe_timeout, connect_timeout=probe_timeout)
+    acknowledged = False
     try:
         client.shutdown()
+        acknowledged = True
     except DaemonError:
-        return False
-    deadline = time.time() + wait_s
-    while time.time() < deadline:
-        if not client.is_running():
-            return True
-        time.sleep(0.05)
-    raise DaemonError(
-        f"daemon on {path} acknowledged shutdown but is still running "
-        f"after {wait_s:g}s"
+        pass
+    if acknowledged:
+        deadline = time.time() + wait_s
+        while time.time() < deadline:
+            if not client.is_running():
+                return "graceful"
+            time.sleep(0.05)
+    pid = _read_pid_file(path)
+    if not acknowledged and (pid is None or not _pid_alive(pid)):
+        return False  # nothing answering and no live pid: no daemon runs
+    state = (
+        "acknowledged shutdown but is still running"
+        if acknowledged
+        else f"is not answering its socket (pid {pid} alive)"
     )
+    if not force:
+        raise DaemonError(
+            f"daemon on {path} {state} after {wait_s:g}s; "
+            f"escalate with force=True / --force to SIGKILL it"
+        )
+    if pid is None:
+        raise DaemonError(
+            f"cannot force-stop the daemon on {path}: no pid file "
+            f"({_pid_file(path)}) to SIGKILL"
+        )
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    deadline = time.time() + max(wait_s, 1.0)
+    while _pid_alive(pid) and time.time() < deadline:
+        try:
+            os.waitpid(pid, os.WNOHANG)  # reap the zombie if it is our child
+        except (ChildProcessError, OSError):
+            pass
+        time.sleep(0.05)
+    if _pid_alive(pid):
+        raise DaemonError(f"daemon pid {pid} survived SIGKILL (zombie reaping lag?)")
+    for leftover in (path, _pid_file(path), _lock_file(path)):
+        try:
+            leftover.unlink()
+        except OSError:
+            pass
+    return "forced"

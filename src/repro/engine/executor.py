@@ -15,18 +15,34 @@ a parallel run is observationally identical to a serial one (byte-identical
 first failure raises :class:`EngineError` after in-flight work drains.
 
 Both entry points accept an external ``pool`` so a long-lived process pool
-(the daemon's) can be reused across invocations without spin-up cost.
+(the daemon's) can be reused across invocations without spin-up cost.  For
+service use the pool is wrapped in a :class:`PoolSupervisor`: a killed
+worker breaks a ``ProcessPoolExecutor`` permanently, so the supervisor
+rebuilds it transparently and :func:`iter_jobs` retries the interrupted
+jobs (pure functions of their config, so retried results are bit-identical)
+with exponential backoff up to a retry budget.  A :class:`CancelToken`
+threads cooperative cancellation/deadlines through the stream: queued jobs
+are cancelled, in-flight jobs drain into the cache, and the stream ends
+without terminal events for the abandoned work.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
 from repro import telemetry
+from repro.engine import faults
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import Job
 
@@ -140,11 +156,126 @@ class EngineError(RuntimeError):
 ProgressFn = Callable[[int, int, JobOutcome], None]
 
 
+class CancelToken:
+    """Cooperative cancellation flag with an optional monotonic deadline.
+
+    The first ``cancel()`` wins: its ``reason`` (``"cancelled"``,
+    ``"timeout"``, ``"disconnected"``, ...) is what consumers report.
+    ``poll()`` additionally promotes an expired deadline into a
+    ``"timeout"`` cancellation, so loops only ever need one check.
+    """
+
+    def __init__(self, deadline: float | None = None):
+        self._event = threading.Event()
+        self.reason: str | None = None
+        self.deadline = deadline
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        if not self._event.is_set():
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def poll(self) -> bool:
+        """``True`` when cancelled, checking the deadline first."""
+        if (
+            not self._event.is_set()
+            and self.deadline is not None
+            and time.monotonic() > self.deadline
+        ):
+            self.cancel("timeout")
+        return self._event.is_set()
+
+
+class PoolSupervisor:
+    """Self-healing ``ProcessPoolExecutor``: rebuilds after worker crashes.
+
+    One killed worker marks the whole executor broken -- every pending
+    submit and future raises :class:`BrokenExecutor` forever.  The
+    supervisor heals at submit time: a submit that lands on a broken pool
+    shuts it down, forks a replacement, and retries, under a lock that
+    dedupes concurrent healers (only the thread holding the *same* broken
+    instance rebuilds).  :func:`iter_jobs` consults ``max_attempts`` /
+    :meth:`backoff_delay` to bound crash retries per job.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        max_attempts: int = 3,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        self.workers = max(1, int(workers))
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._lock = threading.Lock()
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.rebuilds = 0
+
+    @property
+    def pool(self) -> ProcessPoolExecutor:
+        return self._pool
+
+    def submit(self, fn, /, *args, **kwargs):
+        while True:
+            pool = self._pool
+            try:
+                return pool.submit(fn, *args, **kwargs)
+            except BrokenExecutor:
+                self._heal(pool)
+
+    def _heal(self, broken: ProcessPoolExecutor) -> None:
+        with self._lock:
+            if self._pool is not broken:
+                return  # another stream already replaced it
+            try:
+                broken.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self.rebuilds += 1
+        if telemetry.collection_enabled():
+            telemetry.registry().counter(telemetry.ENGINE_POOL_REBUILDS).inc()
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_cap_s, self.backoff_s * (2 ** max(0, attempt - 1)))
+
+    def warm(self) -> None:
+        """Fork all workers now (first real submit pays no spin-up)."""
+        for _ in self._pool.map(_warm_probe, range(self.workers)):
+            pass
+
+    def shutdown(self, wait: bool = False, cancel_futures: bool = True) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+
+def _warm_probe(index: int) -> int:
+    """No-op picklable task used to pre-fork supervisor workers."""
+    return index
+
+
 def _execute(job: Job) -> tuple[Any, float]:
     """Run one job and time it (also the picklable worker entry point)."""
     start = time.perf_counter()
     value = job.run()
     return value, time.perf_counter() - start
+
+
+def _pool_execute(job: Job) -> tuple[Any, float]:
+    """Pool-worker entry without telemetry (fault site for injected kills)."""
+    faults.injector().on_job_start()
+    return _execute(job)
 
 
 def _span_labels(job: Job) -> dict[str, Any]:
@@ -170,6 +301,7 @@ def _execute_collected(
     parent onto the submitting process's active span (``parent_span``), so
     the trace is one tree across the pool.
     """
+    faults.injector().on_job_start()
     telemetry.enable_collection()
     if trace and not telemetry.tracing_active():
         telemetry.enable_tracing(telemetry.SpanBuffer())
@@ -195,7 +327,8 @@ def iter_jobs(
     workers: int = 1,
     cache: ResultCache | None = None,
     fail_fast: bool = True,
-    pool: Executor | None = None,
+    pool: "Executor | PoolSupervisor | None" = None,
+    cancel: CancelToken | None = None,
 ) -> Iterator[JobEvent]:
     """Yield a :class:`JobEvent` per state transition, in completion order.
 
@@ -213,6 +346,17 @@ def iter_jobs(
     cancelled jobs emit *no* terminal event -- while in-flight jobs drain to
     completion so their results still land in the cache.  The stream simply
     ends after the drain; raising is the caller's policy (:func:`run_jobs`).
+
+    When ``pool`` is a :class:`PoolSupervisor`, a job interrupted by a
+    worker crash (``BrokenExecutor``) is resubmitted to the healed pool
+    after exponential backoff, up to ``supervisor.max_attempts`` total
+    attempts; only then does it settle as ``failed``.  Retries emit no extra
+    ``started`` events and other jobs are unaffected.
+
+    A ``cancel`` token (checked between inline jobs and on every pool wait
+    round, including its deadline) ends the stream early with the same drain
+    semantics as fail-fast: queued futures are cancelled and emit nothing,
+    in-flight results still land in the cache.
     """
     jobs = list(jobs)
     total = len(jobs)
@@ -240,6 +384,8 @@ def iter_jobs(
 
     if pool is None and (workers <= 1 or len(pending) <= 1):
         for index in pending:
+            if cancel is not None and cancel.poll():
+                return
             job = jobs[index]
             yield JobEvent(STARTED, job, index, total)
             outcome = _run_one(job, cache, collecting=collecting)
@@ -255,32 +401,103 @@ def iter_jobs(
         return
 
     owned = pool is None
-    executor = pool if pool is not None else ProcessPoolExecutor(
-        max_workers=min(workers, len(pending))
-    )
+    supervisor = pool if isinstance(pool, PoolSupervisor) else None
+    executor: Executor | None
+    if supervisor is not None:
+        executor = None
+    elif pool is not None:
+        executor = pool
+    else:
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+    submit = supervisor.submit if supervisor is not None else executor.submit
+    max_attempts = supervisor.max_attempts if supervisor is not None else 1
     try:
-        futures = {}
+        futures: dict[Any, int] = {}
+        attempts: dict[int, int] = {}
         parent_span = telemetry.current_span_id() if collecting else None
         trace = collecting and telemetry.tracing_active()
-        for index in pending:
+
+        def _submit(index: int) -> None:
+            attempts[index] = attempts.get(index, 0) + 1
             if collecting:
-                future = executor.submit(
+                future = submit(
                     _execute_collected, jobs[index], parent_span, time.time(), trace
                 )
             else:
-                future = executor.submit(_execute, jobs[index])
+                future = submit(_pool_execute, jobs[index])
             futures[future] = index
+
+        def _harvest(future, index: int) -> JobEvent:
+            """Fold one successful future into the cache; terminal event."""
+            result = future.result()
+            if collecting:
+                value, duration, spans, delta = result
+                telemetry.write_records(spans)
+                reg.merge_snapshot(delta)
+                reg.counter(telemetry.ENGINE_JOBS_FINISHED).inc()
+            else:
+                value, duration = result
+            if cache is not None:
+                cache.put(jobs[index], value)
+            outcome = JobOutcome(job=jobs[index], value=value, duration_s=duration)
+            return JobEvent(FINISHED, jobs[index], index, total, outcome)
+
+        for index in pending:
+            _submit(index)
             yield JobEvent(STARTED, jobs[index], index, total)
         failed = False
         while futures:
-            completed, _ = wait(futures, return_when=FIRST_COMPLETED)
+            if cancel is not None and cancel.poll():
+                # Same drain contract as fail-fast: queued work is cancelled
+                # silently, in-flight results still land in the cache (a
+                # retried request after a timeout reuses them); crash
+                # casualties of the abandoned request are simply dropped.
+                for future in futures:
+                    future.cancel()
+                wait(list(futures))
+                for future, index in futures.items():
+                    if future.cancelled():
+                        continue
+                    try:
+                        yield _harvest(future, index)
+                    except Exception:
+                        continue
+                return
+            timeout = 0.05 if cancel is not None else None
+            completed, _ = wait(futures, timeout=timeout, return_when=FIRST_COMPLETED)
+            slept_this_round = False
             for future in completed:
                 index = futures.pop(future)
                 job = jobs[index]
                 if future.cancelled():
                     continue
                 try:
-                    result = future.result()
+                    yield _harvest(future, index)
+                    continue
+                except BrokenExecutor:
+                    # The worker running (or queued to run) this job was
+                    # killed; the pool is broken.  With a supervisor the
+                    # resubmit below heals it and the retried job returns a
+                    # bit-identical result (jobs are pure).
+                    if supervisor is not None and attempts[index] < max_attempts:
+                        if reg is not None:
+                            reg.counter(telemetry.ENGINE_JOB_RETRIES).inc()
+                        if not slept_this_round:
+                            time.sleep(supervisor.backoff_delay(attempts[index]))
+                            slept_this_round = True
+                        _submit(index)
+                        continue
+                    failed = True
+                    if reg is not None:
+                        reg.counter(telemetry.ENGINE_JOBS_FAILED).inc()
+                    error = (
+                        f"worker crashed while running this job "
+                        f"(gave up after {attempts[index]} attempt(s))\n"
+                        + traceback.format_exc()
+                    )
+                    outcome = JobOutcome(job=job, error=error)
+                    yield JobEvent(FAILED, job, index, total, outcome)
+                    continue
                 except Exception:
                     failed = True
                     if reg is not None:
@@ -288,17 +505,6 @@ def iter_jobs(
                     outcome = JobOutcome(job=job, error=traceback.format_exc())
                     yield JobEvent(FAILED, job, index, total, outcome)
                     continue
-                if collecting:
-                    value, duration, spans, delta = result
-                    telemetry.write_records(spans)
-                    reg.merge_snapshot(delta)
-                    reg.counter(telemetry.ENGINE_JOBS_FINISHED).inc()
-                else:
-                    value, duration = result
-                if cache is not None:
-                    cache.put(job, value)
-                outcome = JobOutcome(job=job, value=value, duration_s=duration)
-                yield JobEvent(FINISHED, job, index, total, outcome)
             if failed and fail_fast:
                 # Queued (not-yet-started) jobs are cancelled but in-flight
                 # jobs drain to completion so their results still land in the
@@ -317,7 +523,8 @@ def run_jobs(
     cache: ResultCache | None = None,
     progress: ProgressFn | None = None,
     fail_fast: bool = True,
-    pool: Executor | None = None,
+    pool: "Executor | PoolSupervisor | None" = None,
+    cancel: CancelToken | None = None,
 ) -> list[JobOutcome]:
     """Execute ``jobs`` and return their outcomes in submission order.
 
@@ -332,7 +539,8 @@ def run_jobs(
     outcomes: list[JobOutcome | None] = [None] * total
     done = 0
     for event in iter_jobs(
-        jobs, workers=workers, cache=cache, fail_fast=fail_fast, pool=pool
+        jobs, workers=workers, cache=cache, fail_fast=fail_fast, pool=pool,
+        cancel=cancel,
     ):
         if not event.terminal:
             continue

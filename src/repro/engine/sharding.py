@@ -44,8 +44,10 @@ from repro.engine.executor import (
     CACHED,
     FAILED,
     FINISHED,
+    CancelToken,
     JobEvent,
     JobOutcome,
+    PoolSupervisor,
     ProgressFn,
     EngineError,
     iter_jobs,
@@ -175,7 +177,8 @@ def iter_sharded(
     cache: ResultCache | None = None,
     fail_fast: bool = True,
     ordered: bool = False,
-    pool: Executor | None = None,
+    pool: "Executor | PoolSupervisor | None" = None,
+    cancel: CancelToken | None = None,
 ) -> Iterator[JobEvent]:
     """Stream :class:`JobEvent` for a sharded run, merging incrementally.
 
@@ -188,12 +191,15 @@ def iter_sharded(
     output); everything else still streams in completion order.
 
     ``shard_size=None`` (or jobs that decline to shard) degrades exactly to
-    :func:`~repro.engine.executor.iter_jobs`.
+    :func:`~repro.engine.executor.iter_jobs`.  A ``cancel`` token cancels
+    the underlying leaf stream; parents whose shards were abandoned never
+    merge and emit no terminal event.
     """
     jobs = list(jobs)
     if shard_size is None:
         stream = iter_jobs(
-            jobs, workers=workers, cache=cache, fail_fast=fail_fast, pool=pool
+            jobs, workers=workers, cache=cache, fail_fast=fail_fast, pool=pool,
+            cancel=cancel,
         )
         yield from _ordered_gate(stream, jobs) if ordered else stream
         return
@@ -235,6 +241,7 @@ def iter_sharded(
             cache=cache,
             fail_fast=fail_fast,
             pool=pool,
+            cancel=cancel,
         ):
             yield event
             if not event.terminal:

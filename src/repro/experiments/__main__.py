@@ -52,7 +52,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
+import time
 
 from repro import telemetry
 from repro.engine import (
@@ -179,10 +181,22 @@ class _EventRenderer:
         self.failures: list[dict] = []
         self.done = 0
         self.rendered = 0
+        self._stdout_lines = 0
+
+    @property
+    def emitted(self) -> bool:
+        """Whether anything reached stdout yet.
+
+        Until then an interrupted daemon stream may be retried or re-run
+        inline without duplicating output (``--json`` buffers everything
+        until :meth:`finish`; table and ``--stream`` modes emit as they go).
+        """
+        return bool(self._stdout_lines or self.rendered)
 
     def feed(self, payload: dict) -> None:
         if self.stream:
             print(json.dumps(payload, separators=(",", ":")), flush=True)
+            self._stdout_lines += 1
         if payload.get("event") not in TERMINAL_EVENTS:
             return
         if payload.get("total") is not None:
@@ -229,16 +243,31 @@ def _progress_stats_line(hits: int, misses: int, suffix: str = "") -> str:
     return f"cache: {CacheStats(hits=hits, misses=misses).summary()}{suffix}"
 
 
+#: Client-side attempts against a saturated daemon (``busy`` frames or a
+#: connection dropped before any output) before degrading to inline
+#: execution.  Patchable in tests to keep retry paths fast.
+_RETRY_ATTEMPTS = 3
+_RETRY_BASE_S = 0.1
+
+
+def _retry_delay(attempt: int) -> float:
+    """Jittered exponential backoff before retry ``attempt`` (0-based)."""
+    return _RETRY_BASE_S * (2**attempt) + random.uniform(0.0, 0.05)
+
+
 def _run_via_daemon(args, selected: list[str]) -> int | None:
     """Route the run through a live daemon; ``None`` means fall back inline.
 
-    Falling back is only safe before any output, so a daemon that dies
-    mid-stream is reported as a failure instead of silently recomputing.
+    Degradation is uniform: a saturated daemon (``busy`` frame) or a
+    connection that drops before any output is retried with jittered
+    backoff and then falls back inline; ``stale``/``timeout``/``cancelled``
+    frames fall back inline at once (nothing reached stdout yet); a daemon
+    that dies *after* producing output is reported as a failure instead of
+    silently recomputing, since fallback is only safe before any output.
     """
     client = DaemonClient()
     if not client.is_running():
         return None
-    renderer = _EventRenderer(selected, as_json=args.as_json, stream=args.stream)
     print(f"daemon: routing via {client.socket_path}", file=sys.stderr)
     if args.jobs != 1:
         print(
@@ -246,7 +275,31 @@ def _run_via_daemon(args, selected: list[str]) -> int | None:
             f"ignoring --jobs {args.jobs}",
             file=sys.stderr,
         )
-    consumed = False
+    for attempt in range(_RETRY_ATTEMPTS + 1):
+        status, code = _daemon_attempt(client, args, selected)
+        if status == "retry" and attempt < _RETRY_ATTEMPTS:
+            time.sleep(_retry_delay(attempt))
+            continue
+        if status == "retry":
+            print("daemon: retry budget exhausted; running inline", file=sys.stderr)
+            return None
+        if status == "inline":
+            return None
+        return code  # "done" or "fatal"
+    return None  # unreachable; the loop always returns
+
+
+def _daemon_attempt(
+    client: DaemonClient, args, selected: list[str]
+) -> tuple[str, int | None]:
+    """One daemon round-trip for :func:`_run_via_daemon`.
+
+    Returns ``(status, exit_code)``: ``("done", code)`` when the stream
+    completed, ``("fatal", 1)`` for failures that must not be recomputed
+    inline, ``("inline", None)`` to fall back, ``("retry", None)`` when
+    another attempt is safe (no output has been produced).
+    """
+    renderer = _EventRenderer(selected, as_json=args.as_json, stream=args.stream)
     try:
         for frame in client.submit(
             selected,
@@ -256,14 +309,16 @@ def _run_via_daemon(args, selected: list[str]) -> int | None:
         ):
             kind = frame.get("type")
             if kind == "event":
-                consumed = True
                 renderer.feed(frame["event"])
-            elif kind == "stale":
+            elif kind == "busy":
+                print(f"daemon busy: {frame.get('message')}", file=sys.stderr)
+                return ("retry", None)
+            elif kind in ("stale", "timeout", "cancelled"):
                 print(
                     f"daemon: {frame.get('message')}; running inline",
                     file=sys.stderr,
                 )
-                return None
+                return ("inline", None)
             elif kind == "done":
                 code = renderer.finish()
                 if code == 0:
@@ -275,17 +330,17 @@ def _run_via_daemon(args, selected: list[str]) -> int | None:
                         ),
                         file=sys.stderr,
                     )
-                return code
+                return ("done", code)
             elif kind == "error":
                 print(f"daemon error: {frame.get('message')}", file=sys.stderr)
-                return 1
+                return ("fatal", 1)
     except DaemonError as error:
-        if consumed:
+        if renderer.emitted:
             print(f"daemon stream failed: {error}", file=sys.stderr)
-            return 1
-        print(f"daemon unreachable ({error}); running inline", file=sys.stderr)
-        return None
-    return 1
+            return ("fatal", 1)
+        print(f"daemon unreachable ({error}); retrying", file=sys.stderr)
+        return ("retry", None)
+    return ("fatal", 1)  # stream ended without a terminal frame
 
 
 def _cache_prune_main(argv: list[str]) -> int:
@@ -339,40 +394,48 @@ def _fleet_via_daemon(
     if not client.is_running():
         return None
     print(f"daemon: routing via {client.socket_path}", file=sys.stderr)
-    value: dict | None = None
-    try:
-        for frame in client.fleet(
-            job.config, shard_size=shard_size, code_version=source_fingerprint()
-        ):
-            kind = frame.get("type")
-            if kind == "event":
-                if "value" in frame.get("event", {}):
-                    value = frame["event"]["value"]
-            elif kind == "stale":
-                print(
-                    f"daemon: {frame.get('message')}; running inline",
-                    file=sys.stderr,
-                )
-                return None
-            elif kind == "error":
-                # e.g. a daemon from before the fleet op; nothing has been
-                # printed on stdout yet, so inline execution is still safe.
-                print(
-                    f"daemon: {frame.get('message')}; running inline",
-                    file=sys.stderr,
-                )
-                return None
-            elif kind == "done":
-                if value is None:
+    for attempt in range(_RETRY_ATTEMPTS + 1):
+        value: dict | None = None
+        retry = False
+        try:
+            for frame in client.fleet(
+                job.config, shard_size=shard_size, code_version=source_fingerprint()
+            ):
+                kind = frame.get("type")
+                if kind == "event":
+                    if "value" in frame.get("event", {}):
+                        value = frame["event"]["value"]
+                elif kind == "busy":
+                    print(f"daemon busy: {frame.get('message')}", file=sys.stderr)
+                    retry = True
+                    break
+                elif kind in ("stale", "timeout", "cancelled", "error"):
+                    # e.g. a daemon from before the fleet op, or one that shed
+                    # this request; nothing has been printed on stdout yet, so
+                    # inline execution is always safe here.
                     print(
-                        "daemon: stream ended without a result; running inline",
+                        f"daemon: {frame.get('message')}; running inline",
                         file=sys.stderr,
                     )
                     return None
-                return value, telemetry.Histogram.from_dict(frame["latency"])
-    except DaemonError as error:
-        print(f"daemon stream failed ({error}); running inline", file=sys.stderr)
-        return None
+                elif kind == "done":
+                    if value is None:
+                        print(
+                            "daemon: stream ended without a result; running inline",
+                            file=sys.stderr,
+                        )
+                        return None
+                    return value, telemetry.Histogram.from_dict(frame["latency"])
+        except DaemonError as error:
+            # The whole stream buffers until ``done``, so a dropped
+            # connection is always retry-safe.
+            print(f"daemon stream failed ({error}); retrying", file=sys.stderr)
+            retry = True
+        if not retry:
+            return None  # stream ended without a terminal frame
+        if attempt < _RETRY_ATTEMPTS:
+            time.sleep(_retry_delay(attempt))
+    print("daemon: retry budget exhausted; running inline", file=sys.stderr)
     return None
 
 
@@ -658,9 +721,46 @@ def _daemon_main(argv: list[str]) -> int:
                 help="append one NDJSON span record per daemon-side timed "
                 "region to FILE",
             )
+            sp.add_argument(
+                "--max-inflight",
+                type=int,
+                default=4,
+                metavar="N",
+                help="work requests executing concurrently (default: 4)",
+            )
+            sp.add_argument(
+                "--queue-depth",
+                type=int,
+                default=16,
+                metavar="N",
+                help="work requests waiting beyond --max-inflight before new "
+                "ones are refused with a busy frame (default: 16)",
+            )
+        if action == "stop":
+            sp.add_argument(
+                "--force",
+                action="store_true",
+                help="SIGKILL the daemon (from its pid file) if it does not "
+                "shut down gracefully within --timeout",
+            )
+            sp.add_argument(
+                "--timeout",
+                type=float,
+                default=10.0,
+                metavar="SECONDS",
+                help="grace period for orderly shutdown (default: 10)",
+            )
     args = parser.parse_args(argv)
     if args.action in ("start", "run") and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.action in ("start", "run") and (
+        args.max_inflight < 1 or args.queue_depth < 0
+    ):
+        print(
+            "--max-inflight must be >= 1 and --queue-depth must be >= 0",
+            file=sys.stderr,
+        )
         return 2
     try:
         socket_path = args.socket or default_socket_path()
@@ -670,12 +770,18 @@ def _daemon_main(argv: list[str]) -> int:
                 cache_dir=args.cache_dir,
                 workers=args.workers,
                 trace=args.trace,
+                max_inflight=args.max_inflight,
+                queue_depth=args.queue_depth,
             )
             print(f"daemon started (pid {pid}, socket {socket_path})")
             return 0
         if args.action == "stop":
-            if stop_daemon(socket_path):
-                print(f"daemon on {socket_path} stopped")
+            outcome = stop_daemon(socket_path, wait_s=args.timeout, force=args.force)
+            if outcome == "forced":
+                print(f"daemon on {socket_path} force-killed (SIGKILL)")
+                return 0
+            if outcome:
+                print(f"daemon on {socket_path} stopped gracefully")
                 return 0
             print(f"no daemon running on {socket_path}", file=sys.stderr)
             return 1
@@ -693,6 +799,8 @@ def _daemon_main(argv: list[str]) -> int:
             cache_dir=args.cache_dir,
             workers=args.workers,
             trace=args.trace,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
         ).serve_forever()
         return 0
     except DaemonError as error:

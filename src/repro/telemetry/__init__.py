@@ -27,18 +27,28 @@ from repro.telemetry.metrics import (
     CACHE_MEMORY_HITS,
     CACHE_MISSES,
     CACHE_STORES,
+    DAEMON_DISCONNECTS,
+    DAEMON_INFLIGHT,
+    DAEMON_QUEUE_DEPTH,
+    DAEMON_QUEUE_WAIT_SECONDS,
     DAEMON_REQUESTS,
+    DAEMON_REQUESTS_BUSY,
+    DAEMON_REQUESTS_CANCELLED,
     DAEMON_REQUESTS_COLD,
+    DAEMON_REQUESTS_TIMEOUT,
     DAEMON_REQUESTS_WARM,
     DAEMON_REQUEST_SECONDS,
     ENGINE_JOBS_CACHED,
     ENGINE_JOBS_FAILED,
     ENGINE_JOBS_FINISHED,
     ENGINE_JOBS_SCHEDULED,
+    ENGINE_JOB_RETRIES,
     ENGINE_MERGES,
     ENGINE_MERGE_SECONDS,
+    ENGINE_POOL_REBUILDS,
     ENGINE_QUEUE_WAIT_SECONDS,
     ENGINE_RUN_SECONDS,
+    FAULTS_INJECTED,
     FLEET_AUTH_REQUESTS,
     FLEET_AUTH_SECONDS,
     Counter,
@@ -71,18 +81,28 @@ __all__ = [
     "CACHE_MEMORY_HITS",
     "CACHE_MISSES",
     "CACHE_STORES",
+    "DAEMON_DISCONNECTS",
+    "DAEMON_INFLIGHT",
+    "DAEMON_QUEUE_DEPTH",
+    "DAEMON_QUEUE_WAIT_SECONDS",
     "DAEMON_REQUESTS",
+    "DAEMON_REQUESTS_BUSY",
+    "DAEMON_REQUESTS_CANCELLED",
     "DAEMON_REQUESTS_COLD",
+    "DAEMON_REQUESTS_TIMEOUT",
     "DAEMON_REQUESTS_WARM",
     "DAEMON_REQUEST_SECONDS",
     "ENGINE_JOBS_CACHED",
     "ENGINE_JOBS_FAILED",
     "ENGINE_JOBS_FINISHED",
     "ENGINE_JOBS_SCHEDULED",
+    "ENGINE_JOB_RETRIES",
     "ENGINE_MERGES",
     "ENGINE_MERGE_SECONDS",
+    "ENGINE_POOL_REBUILDS",
     "ENGINE_QUEUE_WAIT_SECONDS",
     "ENGINE_RUN_SECONDS",
+    "FAULTS_INJECTED",
     "FLEET_AUTH_REQUESTS",
     "FLEET_AUTH_SECONDS",
     "TRACE_RECORD_KEYS",

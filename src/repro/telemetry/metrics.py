@@ -34,6 +34,8 @@ ENGINE_JOBS_CACHED = "engine_jobs_cached_total"
 ENGINE_JOBS_FINISHED = "engine_jobs_finished_total"
 ENGINE_JOBS_FAILED = "engine_jobs_failed_total"
 ENGINE_MERGES = "engine_merges_total"
+ENGINE_JOB_RETRIES = "engine_job_retries_total"
+ENGINE_POOL_REBUILDS = "engine_pool_rebuilds_total"
 ENGINE_RUN_SECONDS = "engine_job_run_seconds"
 ENGINE_QUEUE_WAIT_SECONDS = "engine_job_queue_wait_seconds"
 ENGINE_MERGE_SECONDS = "engine_merge_seconds"
@@ -46,8 +48,16 @@ DAEMON_REQUESTS = "daemon_requests_total"
 DAEMON_REQUESTS_WARM = "daemon_requests_warm_total"
 DAEMON_REQUESTS_COLD = "daemon_requests_cold_total"
 DAEMON_REQUEST_SECONDS = "daemon_request_seconds"
+DAEMON_REQUESTS_BUSY = "daemon_requests_busy_total"
+DAEMON_REQUESTS_TIMEOUT = "daemon_requests_timeout_total"
+DAEMON_REQUESTS_CANCELLED = "daemon_requests_cancelled_total"
+DAEMON_DISCONNECTS = "daemon_client_disconnects_total"
+DAEMON_QUEUE_WAIT_SECONDS = "daemon_queue_wait_seconds"
+DAEMON_QUEUE_DEPTH = "daemon_queue_depth"
+DAEMON_INFLIGHT = "daemon_inflight_requests"
 FLEET_AUTH_REQUESTS = "fleet_auth_requests_total"
 FLEET_AUTH_SECONDS = "fleet_auth_request_seconds"
+FAULTS_INJECTED = "faults_injected_total"
 
 
 class Counter:

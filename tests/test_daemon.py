@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import signal
 import socket
 import tempfile
 import threading
@@ -17,16 +19,28 @@ import time
 
 import pytest
 
+from repro import telemetry
 from repro.engine import (
     DaemonClient,
     DaemonError,
     ExperimentDaemon,
     ExperimentJob,
+    FaultInjector,
+    FaultPlan,
     MemoryIndexCache,
     ResultCache,
     default_socket_path,
+    start_daemon,
+    stop_daemon,
 )
-from repro.engine.daemon import recv_frame, send_frame
+from repro.engine import faults as faults_mod
+from repro.engine.daemon import (
+    PROTOCOL_VERSION,
+    _acquire_bind_lock,
+    _lock_file,
+    recv_frame,
+    send_frame,
+)
 from repro.experiments.__main__ import main
 
 pytestmark = pytest.mark.skipif(
@@ -180,7 +194,9 @@ class TestDaemonServer:
         assert warm[-1]["memory_hits"] == 1
         assert warm[-1]["hits"] == 1
         terminal = [
-            frame["event"] for frame in warm[:-1] if frame["event"]["event"] == "cached"
+            frame["event"]
+            for frame in warm
+            if frame["type"] == "event" and frame["event"]["event"] == "cached"
         ]
         assert len(terminal) == 1
         # Same payload either way.
@@ -471,3 +487,413 @@ class TestDaemonCLISubprocess:
     def test_workers_validation(self, capsys):
         assert main(["daemon", "start", "--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
+
+@pytest.fixture
+def make_daemon(tmp_path):
+    """Factory for live in-process daemons with custom queue/fault config.
+
+    Returns a client with a ``.server`` attribute (the in-process
+    :class:`ExperimentDaemon`) so tests can inspect or swap its injector.
+    Every started daemon is shut down at teardown.
+    """
+    started = []
+
+    def _make(name="d.sock", **kwargs):
+        socket_path = tmp_path / name
+        kwargs.setdefault("cache_dir", tmp_path / f"cache-{name}")
+        kwargs.setdefault("workers", 2)
+        server = ExperimentDaemon(socket_path, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = DaemonClient(socket_path)
+        deadline = time.time() + 30.0
+        while not client.is_running():
+            assert time.time() < deadline, "daemon did not come up"
+            time.sleep(0.02)
+        started.append((client, thread))
+        client.server = server
+        return client
+
+    yield _make
+    for client, thread in started:
+        try:
+            client.shutdown()
+        except DaemonError:
+            pass
+        thread.join(timeout=15.0)
+
+
+def _submit_async(client, experiments=None, *, fleet=None, **kwargs):
+    """Drain a work stream on a background thread; returns (frames, thread)."""
+    frames = []
+
+    def run():
+        stream = (
+            client.fleet(fleet, **kwargs)
+            if fleet is not None
+            else client.submit(experiments, **kwargs)
+        )
+        try:
+            for frame in stream:
+                frames.append(frame)
+        except DaemonError:
+            pass
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return frames, thread
+
+
+def _await_status(client, *, timeout=30.0, **expected):
+    """Poll ``status`` until every expected field matches; returns the frame."""
+    deadline = time.time() + timeout
+    while True:
+        status = client.status()
+        if all(status[key] == value for key, value in expected.items()):
+            return status
+        assert time.time() < deadline, (
+            f"daemon never reached {expected}; last status: "
+            f"{ {key: status[key] for key in expected} }"
+        )
+        time.sleep(0.02)
+
+
+class TestServiceHealth:
+    def test_status_reports_service_health_fields(self, daemon):
+        status = daemon.status()
+        assert status["uptime_s"] >= 0.0
+        assert status["inflight"] == 0
+        assert status["queued"] == 0
+        assert status["active_requests"] == 0
+        assert status["max_inflight"] == 4
+        assert status["queue_depth_limit"] == 16
+        assert status["pool_size"] == 2
+        assert status["pool_rebuilds"] == 0
+        assert status["retry_attempts"] == 3
+
+
+#: Holder request used to saturate a daemon deterministically: sharded fleet
+#: traffic produces a long event stream, and ``delay_frame_s`` stretches
+#: every frame send, so the request stays in flight for multiple seconds
+#: while the test lines up competing clients.
+HOLD_DELAY_S = 0.3
+HOLD_FLEET = dict(FLEET_CONFIG, fleet_seed=101)
+
+
+class TestAdmissionControl:
+    def test_third_client_gets_busy_while_two_are_served(self, make_daemon):
+        client = make_daemon(
+            max_inflight=1,
+            queue_depth=1,
+            faults=FaultInjector(FaultPlan(delay_frame_s=HOLD_DELAY_S)),
+        )
+        busy_before = client.status()["metrics"]["counters"].get(
+            telemetry.DAEMON_REQUESTS_BUSY, 0
+        )
+        first, first_thread = _submit_async(
+            client, fleet=HOLD_FLEET, shard_size=2
+        )
+        _await_status(client, inflight=1)
+        second, second_thread = _submit_async(client, ["table1"])
+        _await_status(client, inflight=1, queued=1)
+
+        # The saturated daemon still answers its health probes...
+        assert client.ping()["type"] == "pong"
+        # ... while a third work request is refused with a structured frame.
+        refused = list(client.submit(["table1"]))
+        assert refused[0]["type"] == "accepted"
+        assert refused[-1]["type"] == "busy"
+        assert "at capacity" in refused[-1]["message"]
+
+        first_thread.join(timeout=60.0)
+        second_thread.join(timeout=60.0)
+        # Both admitted clients were served completely and correctly.
+        assert first[-1]["type"] == "done"
+        assert second[-1]["type"] == "done"
+        assert any(
+            frame["type"] == "event" and "value" in frame["event"]
+            for stream in (first, second)
+            for frame in stream
+        )
+        counters = client.status()["metrics"]["counters"]
+        assert counters[telemetry.DAEMON_REQUESTS_BUSY] == busy_before + 1
+
+    def test_queued_request_times_out_with_phase(self, make_daemon):
+        client = make_daemon(
+            max_inflight=1,
+            queue_depth=4,
+            faults=FaultInjector(FaultPlan(delay_frame_s=HOLD_DELAY_S)),
+        )
+        holder, holder_thread = _submit_async(
+            client, fleet=HOLD_FLEET, shard_size=2
+        )
+        _await_status(client, inflight=1)
+        frames = list(client.submit(["table1"], timeout_s=0.5))
+        assert [frame["type"] for frame in frames] == ["accepted", "timeout"]
+        assert frames[-1]["phase"] == "queued"
+        assert "deadline passed while queued" in frames[-1]["message"]
+        holder_thread.join(timeout=60.0)
+        assert holder[-1]["type"] == "done"  # the holder was unaffected
+
+    def test_running_request_times_out_with_phase(self, make_daemon):
+        client = make_daemon(
+            faults=FaultInjector(FaultPlan(delay_frame_s=HOLD_DELAY_S)),
+        )
+        frames = list(client.submit(["table2"], timeout_s=0.5))
+        assert frames[0]["type"] == "accepted"
+        assert frames[-1]["type"] == "timeout"
+        assert frames[-1]["phase"] == "running"
+        counters = client.status()["metrics"]["counters"]
+        assert counters[telemetry.DAEMON_REQUESTS_TIMEOUT] >= 1
+
+    def test_cancel_op_aborts_a_running_request(self, make_daemon):
+        client = make_daemon(
+            faults=FaultInjector(FaultPlan(delay_frame_s=HOLD_DELAY_S)),
+        )
+        frames, thread = _submit_async(
+            client, fleet=HOLD_FLEET, shard_size=2, request_id="req-cancel-me"
+        )
+        _await_status(client, inflight=1)
+        assert client.cancel("req-cancel-me") is True
+        thread.join(timeout=60.0)
+        assert frames[0]["type"] == "accepted"
+        assert frames[0]["request_id"] == "req-cancel-me"
+        assert frames[-1]["type"] == "cancelled"
+        assert frames[-1]["request_id"] == "req-cancel-me"
+        # Settled requests are unregistered: cancelling again finds nothing.
+        assert client.cancel("req-cancel-me") is False
+        assert client.cancel("never-existed") is False
+
+    def test_disconnected_client_is_reaped_and_others_served(self, make_daemon):
+        client = make_daemon(
+            faults=FaultInjector(FaultPlan(delay_frame_s=HOLD_DELAY_S)),
+        )
+        disconnects_before = client.status()["metrics"]["counters"].get(
+            telemetry.DAEMON_DISCONNECTS, 0
+        )
+        # A raw client that submits work, reads the accepted frame, then
+        # vanishes mid-stream (no clean shutdown, like a crashed process).
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(str(client.socket_path))
+        with sock, sock.makefile("rwb") as stream:
+            send_frame(
+                stream,
+                {
+                    "v": PROTOCOL_VERSION,
+                    "op": "fleet",
+                    "job": dict(HOLD_FLEET),
+                    "shard_size": 2,
+                },
+            )
+            assert recv_frame(stream)["type"] == "accepted"
+        # The server reaps the dead peer: the slot frees and the disconnect
+        # is counted (in-flight shards drain into the cache meanwhile).
+        deadline = time.time() + 30.0
+        while True:
+            status = client.status()
+            counters = status["metrics"]["counters"]
+            if (
+                counters.get(telemetry.DAEMON_DISCONNECTS, 0)
+                > disconnects_before
+                and status["inflight"] == 0
+                and status["active_requests"] == 0
+            ):
+                break
+            assert time.time() < deadline, "disconnect was never reaped"
+            time.sleep(0.02)
+        # Other clients keep getting full, correct service.
+        frames = list(client.submit(["table1"]))
+        assert frames[-1]["type"] == "done"
+
+    def test_client_retries_through_refused_accepts(self, make_daemon):
+        client = make_daemon()
+        # Arm the injector only after the readiness pings are done so the
+        # refusal budget is spent by this test's own connections.
+        client.server.faults = FaultInjector(
+            FaultPlan(refuse_accept_fraction=1.0, refuse_budget=2)
+        )
+        with pytest.raises(DaemonError):
+            client.ping()  # no retries: the refusal surfaces
+        response = client.request({"op": "ping"}, retries=2, backoff_s=0.01)
+        assert response["type"] == "pong"
+        assert client.server.faults.fired["refuse_accept"] == 2
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_is_rebuilt_and_result_is_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        # The kill fault arms in the forked pool workers via the environment
+        # (each worker pid re-parses $REPRO_FAULTS); the daemon process
+        # itself gets an explicit no-op injector.
+        monkeypatch.setenv(
+            faults_mod.FAULTS_ENV,
+            json.dumps(
+                {
+                    "seed": 1,
+                    "state_dir": str(tmp_path / "chaos"),
+                    "kill_worker_on_job": 1,
+                    "kill_budget": 1,
+                }
+            ),
+        )
+        faults_mod.set_injector(None)
+        socket_path = tmp_path / "chaos.sock"
+        server = ExperimentDaemon(
+            socket_path,
+            cache_dir=tmp_path / "cache",
+            workers=1,
+            retry_backoff_s=0.0,
+            faults=faults_mod.FaultInjector(None),
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = DaemonClient(socket_path)
+        deadline = time.time() + 30.0
+        while not client.is_running():
+            assert time.time() < deadline, "daemon did not come up"
+            time.sleep(0.02)
+        try:
+            frames = list(client.submit(["table2"]))
+            assert frames[-1]["type"] == "done"
+            (payload,) = [
+                frame["event"]["value"]
+                for frame in frames
+                if frame["type"] == "event" and "value" in frame["event"]
+            ]
+            # The worker died mid-job; the supervisor rebuilt the pool and
+            # the retried job produced the exact inline result.
+            job = ExperimentJob("table2", quick=True)
+            assert job.decode(payload) == job.run()
+            status = client.status()
+            assert status["pool_rebuilds"] == 1
+            counters = status["metrics"]["counters"]
+            assert counters[telemetry.ENGINE_JOB_RETRIES] >= 1
+            assert counters[telemetry.ENGINE_POOL_REBUILDS] >= 1
+        finally:
+            try:
+                client.shutdown()
+            except DaemonError:
+                pass
+            thread.join(timeout=15.0)
+            faults_mod.set_injector(None)
+
+
+class TestBindLock:
+    def test_live_owner_blocks_the_bind(self, tmp_path):
+        socket_path = tmp_path / "locked.sock"
+        _lock_file(socket_path).write_text(str(os.getpid()))
+        with pytest.raises(DaemonError, match="another daemon is binding"):
+            _acquire_bind_lock(socket_path)
+
+    def test_dead_owner_lock_is_stolen(self, tmp_path):
+        import subprocess
+        import sys
+
+        socket_path = tmp_path / "stale-lock.sock"
+        corpse = subprocess.Popen([sys.executable, "-c", "pass"])
+        corpse.wait()
+        _lock_file(socket_path).write_text(str(corpse.pid))
+        lock_path = _acquire_bind_lock(socket_path)
+        assert int(lock_path.read_text()) == os.getpid()
+        lock_path.unlink()
+
+    def test_concurrent_reclaim_of_a_dead_socket_has_one_winner(self, tmp_path):
+        # Leave a dead socket file behind (a crashed daemon's remains).
+        socket_path = tmp_path / "dead.sock"
+        remains = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        remains.bind(str(socket_path))
+        remains.close()
+        assert socket_path.exists()
+
+        errors = []
+
+        def serve(index):
+            server = ExperimentDaemon(
+                socket_path, cache_dir=tmp_path / f"cache{index}", workers=1
+            )
+            try:
+                server.serve_forever()
+            except DaemonError as error:
+                errors.append(str(error))
+
+        threads = [
+            threading.Thread(target=serve, args=(index,), daemon=True)
+            for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        client = DaemonClient(socket_path)
+        deadline = time.time() + 30.0
+        while not (client.is_running() and len(errors) == 1):
+            assert time.time() < deadline, (
+                f"no single winner: running={client.is_running()} "
+                f"errors={errors}"
+            )
+            time.sleep(0.02)
+        assert (
+            "another daemon is binding" in errors[0]
+            or "already running" in errors[0]
+        )
+        client.shutdown()
+        for thread in threads:
+            thread.join(timeout=15.0)
+
+
+class TestStopDaemonEscalation:
+    def test_graceful_stop_reports_graceful(self, tmp_path):
+        from repro.engine import start_daemon, stop_daemon
+
+        socket_path = tmp_path / "stop.sock"
+        start_daemon(socket_path, cache_dir=tmp_path / "cache", workers=1)
+        assert stop_daemon(socket_path) == "graceful"
+        assert stop_daemon(socket_path) is False  # nothing left to stop
+
+    def test_wedged_daemon_requires_force_and_is_sigkilled(self, tmp_path):
+        from repro.engine import start_daemon, stop_daemon
+        from repro.engine.daemon import _pid_file
+
+        socket_path = tmp_path / "wedged.sock"
+        pid = start_daemon(socket_path, cache_dir=tmp_path / "cache", workers=1)
+        try:
+            os.kill(pid, signal.SIGSTOP)  # wedge it: alive but unresponsive
+            with pytest.raises(DaemonError, match="--force"):
+                stop_daemon(socket_path, wait_s=0.5)
+            assert stop_daemon(socket_path, wait_s=5.0, force=True) == "forced"
+            assert not socket_path.exists()
+            assert not _pid_file(socket_path).exists()
+        finally:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+
+class TestCLIBusyRetry:
+    def test_cli_retries_busy_then_degrades_inline(
+        self, make_daemon, tmp_path, capsys, monkeypatch
+    ):
+        from repro.experiments import __main__ as cli
+
+        client = make_daemon(
+            max_inflight=1,
+            queue_depth=0,
+            faults=FaultInjector(FaultPlan(delay_frame_s=HOLD_DELAY_S)),
+        )
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(client.socket_path))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+        monkeypatch.setattr(cli, "_RETRY_ATTEMPTS", 1)
+        monkeypatch.setattr(cli, "_RETRY_BASE_S", 0.0)
+        holder, holder_thread = _submit_async(
+            client, fleet=HOLD_FLEET, shard_size=2
+        )
+        _await_status(client, inflight=1)
+        # Saturated daemon with no queue: every CLI attempt bounces busy,
+        # the retry budget runs out, and the run degrades to inline.
+        assert cli.main(["table2"]) == 0
+        captured = capsys.readouterr()
+        assert "daemon busy" in captured.err
+        assert "retry budget exhausted; running inline" in captured.err
+        assert "table2:" in captured.out
+        holder_thread.join(timeout=60.0)
+        assert holder[-1]["type"] == "done"

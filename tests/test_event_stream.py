@@ -12,7 +12,9 @@ surface.
 from __future__ import annotations
 
 import json
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import pytest
@@ -24,6 +26,7 @@ from repro.engine import (
     FINISHED,
     SCHEDULED,
     STARTED,
+    CancelToken,
     EngineError,
     ExperimentJob,
     Job,
@@ -31,6 +34,7 @@ from repro.engine import (
     JobOutcome,
     MonteCarloPointJob,
     MonteCarloShardJob,
+    PoolSupervisor,
     ResultCache,
     iter_jobs,
     iter_sharded,
@@ -88,6 +92,61 @@ class SlowFailJob(Job):
     def run(self) -> None:
         time.sleep(self.sleep_s)
         raise RuntimeError(f"{self.name} exploded")
+
+
+@dataclass(frozen=True)
+class CrashOnceJob(Job):
+    """Picklable job that kills its worker on the first run, then succeeds.
+
+    An ``O_EXCL`` marker file records the first attempt, so the retried job
+    (running in a fresh worker after the supervisor rebuild) completes.
+    """
+
+    name: str
+    marker: str
+
+    kind = "crash-once"
+
+    @property
+    def job_id(self) -> str:
+        return self.name
+
+    @property
+    def config(self) -> dict:
+        return {"name": self.name, "marker": self.marker}
+
+    def run(self) -> str:
+        try:
+            os.close(os.open(self.marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return self.name
+        os._exit(75)
+
+    def encode(self, result: str) -> dict:
+        return {"name": result}
+
+    def decode(self, payload: dict) -> str:
+        return payload["name"]
+
+
+@dataclass(frozen=True)
+class AlwaysCrashJob(Job):
+    """Picklable job that kills its worker every single time it runs."""
+
+    name: str = "doomed"
+
+    kind = "always-crash"
+
+    @property
+    def job_id(self) -> str:
+        return self.name
+
+    @property
+    def config(self) -> dict:
+        return {"name": self.name}
+
+    def run(self) -> None:
+        os._exit(75)
 
 
 class TestIterJobs:
@@ -381,3 +440,105 @@ class TestStreamCLI:
         ) == 0
         out = capsys.readouterr().out
         assert out.index("table2:") < out.index("table1:")
+
+
+class TestPoolSupervisor:
+    """Worker-crash recovery: heal the pool, retry the interrupted jobs."""
+
+    def test_crashed_worker_is_rebuilt_and_job_retried(self, tmp_path):
+        supervisor = PoolSupervisor(2, backoff_s=0.0)
+        try:
+            job = CrashOnceJob("phoenix", str(tmp_path / "attempt.marker"))
+            outcomes = run_jobs([job], pool=supervisor)
+            assert outcomes[0].value == "phoenix"
+            assert supervisor.rebuilds >= 1
+        finally:
+            supervisor.shutdown()
+
+    def test_bystander_rides_out_a_sibling_crash(self, tmp_path):
+        # A broken pool fails *every* in-flight future; the supervisor
+        # retries the innocent bystander transparently alongside the victim.
+        supervisor = PoolSupervisor(2, backoff_s=0.0)
+        try:
+            crash = CrashOnceJob("victim", str(tmp_path / "v.marker"))
+            outcomes = run_jobs(
+                [crash, SleepJob("bystander", 0.05)],
+                pool=supervisor,
+                cache=ResultCache(tmp_path),
+            )
+            by_id = {outcome.job.job_id: outcome for outcome in outcomes}
+            assert by_id["victim"].value == "victim"
+            assert by_id["bystander"].value == "bystander"
+            assert supervisor.rebuilds >= 1
+        finally:
+            supervisor.shutdown()
+
+    def test_retry_budget_exhaustion_settles_as_failed(self):
+        supervisor = PoolSupervisor(2, max_attempts=2, backoff_s=0.0)
+        try:
+            outcomes = run_jobs([AlwaysCrashJob()], pool=supervisor, fail_fast=False)
+            assert not outcomes[0].ok
+            assert "gave up after 2 attempt(s)" in outcomes[0].error
+        finally:
+            supervisor.shutdown()
+
+    def test_plain_pool_crash_fails_without_retry(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            job = CrashOnceJob("one-shot", str(tmp_path / "m.marker"))
+            outcomes = run_jobs([job], pool=pool, fail_fast=False)
+        assert not outcomes[0].ok
+        assert "gave up after 1 attempt(s)" in outcomes[0].error
+
+    def test_backoff_is_exponential_and_capped(self):
+        supervisor = PoolSupervisor(1, backoff_s=0.1, backoff_cap_s=0.3)
+        try:
+            delays = [supervisor.backoff_delay(n) for n in (1, 2, 3, 4)]
+            assert delays == [0.1, 0.2, 0.3, 0.3]
+        finally:
+            supervisor.shutdown()
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            PoolSupervisor(1, max_attempts=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            PoolSupervisor(1, backoff_s=-1.0)
+
+
+class TestCancelToken:
+    def test_first_cancel_reason_wins(self):
+        token = CancelToken()
+        token.cancel("disconnected")
+        token.cancel("timeout")
+        assert token.cancelled
+        assert token.reason == "disconnected"
+
+    def test_expired_deadline_promotes_to_timeout(self):
+        token = CancelToken(deadline=time.monotonic() - 1.0)
+        assert not token.cancelled  # nothing fired yet...
+        assert token.poll()  # ... until someone polls
+        assert token.reason == "timeout"
+
+    def test_cancel_stops_the_inline_stream_without_terminal_events(self):
+        token = CancelToken()
+        token.cancel()
+        events = list(iter_jobs([SleepJob("never", 0.0)], cancel=token))
+        assert [event.type for event in events] == [SCHEDULED]
+
+    def test_cancel_drains_in_flight_and_abandons_queued(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [SleepJob(f"s{i}", 0.3) for i in range(6)]
+        token = CancelToken()
+        stream = iter_jobs(jobs, workers=2, cache=cache, cancel=token)
+        events = []
+        for event in stream:
+            events.append(event)
+            if event.type == STARTED:
+                token.cancel()
+        terminal = [event for event in events if event.terminal]
+        # At most the two in-flight jobs drained; the queued tail emitted
+        # nothing -- and everything that drained landed in the cache.
+        assert len(terminal) <= 2
+        fresh = ResultCache(tmp_path)
+        for event in terminal:
+            assert event.outcome.ok
+            assert fresh.get(event.job) == event.job.job_id

@@ -27,6 +27,10 @@ newest, scaled to the series' own min/max::
     config   PUF            first   last  trend
     ...
 
+``--check`` schema-validates the trajectory files instead of rendering them
+(exit 1 with a problem list on any violation) -- CI runs it so a malformed
+hand-appended entry fails the build instead of silently rendering as ``-``.
+
 Pure stdlib on purpose: runs anywhere (CI steps, fresh checkouts) without
 ``PYTHONPATH`` or the package installed.
 """
@@ -177,6 +181,86 @@ def render_table(
     return "\n".join([format_row(headers), separator] + [format_row(row) for row in rows])
 
 
+def check_trajectory(data: object) -> list[str]:
+    """Schema-validate one parsed trajectory document.
+
+    Returns a list of human-readable problems (empty when the document is
+    valid).  The contract checked here is exactly what ``trajectory_rows``
+    and the benchmark artifact writers rely on: top-level
+    ``schema_version``/``description``/``workload``/``unit``/``entries``,
+    and per entry a ``label``, a ``smoke`` flag, the work count named by
+    ``count_key`` and a ``{config: {PUF: positive rate}}`` mapping under the
+    ``unit`` key.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"document must be a JSON object, got {type(data).__name__}"]
+    if not isinstance(data.get("schema_version"), int):
+        problems.append("schema_version must be an integer")
+    if not isinstance(data.get("description"), str):
+        problems.append("description must be a string")
+    if not isinstance(data.get("workload"), dict):
+        problems.append("workload must be an object")
+    unit = data.get("unit")
+    if not (isinstance(unit, str) and unit.endswith("_per_second")):
+        problems.append("unit must be a string ending in '_per_second'")
+    count = data.get("count_key", "pairs")
+    if not isinstance(count, str):
+        problems.append("count_key must be a string")
+        count = "pairs"
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        problems.append("entries must be a list")
+        return problems
+    key = rate_key(data)
+    for position, entry in enumerate(entries):
+        where = f"entries[{position}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if not isinstance(entry.get("label"), str):
+            problems.append(f"{where}.label must be a string")
+        if not isinstance(entry.get("smoke"), bool):
+            problems.append(f"{where}.smoke must be a boolean")
+        if not (isinstance(entry.get(count), int) and entry.get(count) > 0):
+            problems.append(f"{where}.{count} must be a positive integer")
+        rates = entry.get(key)
+        if not isinstance(rates, dict) or not rates:
+            problems.append(f"{where}.{key} must be a non-empty object")
+            continue
+        for config, per_puf in rates.items():
+            if not isinstance(per_puf, dict) or not per_puf:
+                problems.append(
+                    f"{where}.{key}[{config!r}] must be a non-empty object"
+                )
+                continue
+            for puf, rate in per_puf.items():
+                if isinstance(rate, bool) or not isinstance(rate, (int, float)) or rate <= 0:
+                    problems.append(
+                        f"{where}.{key}[{config!r}][{puf!r}] must be a "
+                        f"positive number, got {rate!r}"
+                    )
+    return problems
+
+
+def check_file(path: Path) -> int:
+    """Validate one trajectory file; returns an exit code."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"cannot read trajectory file {path}: {error}", file=sys.stderr)
+        return 1
+    problems = check_trajectory(data)
+    if problems:
+        print(f"{path.name}: INVALID")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    entries = len(data.get("entries", []))
+    print(f"{path.name}: ok ({entries} entries)")
+    return 0
+
+
 def render_file(path: Path, *, spark: bool) -> int:
     """Render one trajectory file; returns an exit code."""
     try:
@@ -223,8 +307,16 @@ def main(argv: list[str] | None = None) -> int:
         help="render one unicode block sparkline per (config, PUF) series "
         "instead of the full table",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="schema-validate the trajectory files instead of rendering them "
+        "(non-zero exit on any problem)",
+    )
     args = parser.parse_args(argv)
     if args.file is not None:
+        if args.check:
+            return check_file(args.file)
         return render_file(args.file, spark=args.sparkline)
     files = [path for path in DEFAULT_FILES if path.exists()]
     if not files:
@@ -232,6 +324,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     code = 0
     for position, path in enumerate(files):
+        if args.check:
+            code = max(code, check_file(path))
+            continue
         if position:
             print()
         code = max(code, render_file(path, spark=args.sparkline))

@@ -7,7 +7,11 @@ configurations on the paper population's DDR3 class:
   a fresh PUF instance per pair (the pre-batching execution shape);
 * **batched** -- one :func:`repro.puf.evaluation.quality_pairs_batch` call
   over the whole pair block (the shape the ``*_shard`` methods and the
-  engine's ``PUFPairsShardJob`` use).
+  engine's ``PUFPairsShardJob`` use);
+* **batched-warm** -- the same batched call replayed with the deterministic
+  profile memos already resident (the daemon / fleet warm-store steady-state
+  regime): per-pair cost is the multi-read noise kernels alone, with no
+  profile re-derivation.
 
 Both draw from the same per-pair ``StreamTree`` streams, so the benchmark
 asserts bit-identical results before timing anything.  ``REPRO_BENCH_SMOKE=1``
@@ -56,17 +60,16 @@ def _pair_rngs(count: int):
 
 
 def _cold_modules():
-    """The shared module population with every chip profile memo dropped.
+    """The shared module population with every profile memo dropped.
 
     Both timed phases replay the same StreamTree streams over the same
-    modules, so without this reset the phase that runs *second* would be
-    measured entirely warm and the scalar/batched ratio would conflate
-    batching with memo reuse.
+    modules, so without this reset (module-level segment memo *and* per-chip
+    memos) the phase that runs *second* would be measured entirely warm and
+    the scalar/batched ratio would conflate batching with memo reuse.
     """
     modules = _modules()
     for module in modules:
-        for chip in module.chips:
-            chip.reset_profile_memos()
+        module.reset_profile_memos()
     return modules
 
 
@@ -95,6 +98,26 @@ def _batched_rates() -> dict[str, float]:
     return rates
 
 
+def _warm_rates() -> dict[str, float]:
+    """Batched rates with the deterministic profile memos already resident.
+
+    One untimed replay of the identical pair block populates the module-level
+    segment-profile memo, then the timed replay measures the steady-state
+    regime (daemon, fleet ``--warm-store``) where per-pair cost is noise
+    draws + filter reduction only.  Responses are bit-identical either way.
+    """
+    pairs = _pairs()
+    rates = {}
+    for puf_name, factory in PUF_FACTORIES.items():
+        modules = _cold_modules()
+        quality_pairs_batch(modules, factory, _pair_rngs(pairs))
+        rngs = _pair_rngs(pairs)
+        start = time.perf_counter()
+        quality_pairs_batch(modules, factory, rngs)
+        rates[puf_name] = pairs / (time.perf_counter() - start)
+    return rates
+
+
 #: Rates measured by the timed tests, reused by the artifact writer so the
 #: kernel sweeps run exactly once per benchmark session.
 _MEASURED: dict[str, dict[str, float]] = {}
@@ -110,6 +133,12 @@ def test_bench_pair_kernels_batched(run_once):
     rates = run_once(_batched_rates)
     assert set(rates) == set(PUF_FACTORIES)
     _MEASURED["batched"] = rates
+
+
+def test_bench_pair_kernels_batched_warm(run_once):
+    rates = run_once(_warm_rates)
+    assert set(rates) == set(PUF_FACTORIES)
+    _MEASURED["batched-warm"] = rates
 
 
 def test_bench_batched_bit_identical_and_artifact(run_once):
@@ -128,6 +157,7 @@ def test_bench_batched_bit_identical_and_artifact(run_once):
     # alone (e.g. under -k selection) so the record is never empty.
     scalar = _MEASURED.get("scalar") or _scalar_rates()
     batched = _MEASURED.get("batched") or _batched_rates()
+    warm = _MEASURED.get("batched-warm") or _warm_rates()
     entry = {
         "label": "ci" if _smoke() else "local",
         "smoke": _smoke(),
@@ -135,6 +165,7 @@ def test_bench_batched_bit_identical_and_artifact(run_once):
         "pairs_per_second": {
             "scalar": {k: round(v, 1) for k, v in scalar.items()},
             "batched": {k: round(v, 1) for k, v in batched.items()},
+            "batched-warm": {k: round(v, 1) for k, v in warm.items()},
         },
     }
     # Anchor to the repo root regardless of the pytest cwd, so the artifact

@@ -27,6 +27,7 @@ PUF).
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -210,6 +211,12 @@ class DRAMChip:
         #: Pre-derived root seed of every per-row stream (saves one SHA-256
         #: per ``_row_rng`` call on the PUF hot path).
         self._row_seed = derive_seed(self.seed, "chip", self.chip_id)
+        #: Pre-hashed ``derive_seed`` prefix of the row seed: ``_row_rng``
+        #: clones it and appends only the per-call labels, skipping the
+        #: root-seed hashing that is identical for every row stream.
+        row_hasher = hashlib.sha256()
+        row_hasher.update(str(self._row_seed).encode("utf-8"))
+        self._row_hasher = row_hasher
         # Memos of *deterministic* per-row properties (weak cells, reduced
         # timing failure profiles).  They are pure functions of (chip seed,
         # address, timing), so caching changes no observable value -- it only
@@ -246,7 +253,15 @@ class DRAMChip:
             )
 
     def _row_rng(self, *labels: object) -> np.random.Generator:
-        return make_rng(self._row_seed, *labels)
+        # Inlined ``make_rng(self._row_seed, *labels)`` on the memoized
+        # prefix hasher: same SHA-256 label path, same 63-bit seed, same
+        # generator -- only the repeated root-seed hashing is skipped.
+        hasher = self._row_hasher.copy()
+        for label in labels:
+            hasher.update(b"/")
+            hasher.update(str(label).encode("utf-8"))
+        seed = int.from_bytes(hasher.digest()[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+        return np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
     # Data path
@@ -431,6 +446,45 @@ class DRAMChip:
             bits[extra] = 1
         return bits
 
+    def sig_noise_state(
+        self, bank: int, row: int, temperature_c: float = 30.0
+    ) -> tuple[np.ndarray, float, float]:
+        """Hoisted per-row read state: ``(weak, instability, spurious_lam)``.
+
+        Everything :meth:`sig_read_from_state` needs that does not depend on
+        the noise stream, derived once per multi-read call instead of once
+        per read (one weak-cell memo lookup, one instability evaluation).
+        """
+        self._check_location(bank, row)
+        weak = self.sig_weak_cells(bank, row)
+        instability = self._sig_instability(temperature_c)
+        spurious_rate = instability * self.sig_weak_fraction
+        return weak, instability, spurious_rate * self.geometry.row_bits
+
+    def sig_read_from_state(
+        self,
+        state: tuple[np.ndarray, float, float],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One sig observation from a hoisted :meth:`sig_noise_state`.
+
+        Consumes the noise stream in exactly :meth:`sig_response`'s order
+        (dropout uniforms, spurious-cell Poisson draw, spurious addresses),
+        so repeated calls are bit-identical to repeated ``sig_response``
+        calls on the same stream.
+        """
+        weak, instability, spurious_lam = state
+        kept = weak
+        if weak.size and instability > 0.0:
+            drop = rng.random(weak.size) < instability
+            if drop.any():
+                kept = weak[~drop]
+        n_spurious = rng.poisson(spurious_lam)
+        if n_spurious > 0:
+            extra = rng.integers(0, self.geometry.row_bits, size=int(n_spurious))
+            return np.union1d(kept, extra).astype(np.int64, copy=False)
+        return kept.astype(np.int64, copy=False)
+
     def sig_response(
         self,
         bank: int,
@@ -446,21 +500,32 @@ class DRAMChip:
         sorted position array is bit-identical to ``flatnonzero`` over the
         dense row -- without materializing ``row_bits`` values per read.
         """
-        self._check_location(bank, row)
-        weak = self.sig_weak_cells(bank, row)
         noise_rng = rng if rng is not None else make_rng(self.seed, "sig-noise-default")
-        instability = self._sig_instability(temperature_c)
-        kept = weak
-        if weak.size and instability > 0.0:
-            drop = noise_rng.random(weak.size) < instability
-            if drop.any():
-                kept = weak[~drop]
-        spurious_rate = instability * self.sig_weak_fraction
-        n_spurious = noise_rng.poisson(spurious_rate * self.geometry.row_bits)
-        if n_spurious > 0:
-            extra = noise_rng.integers(0, self.geometry.row_bits, size=int(n_spurious))
-            return np.union1d(kept, extra).astype(np.int64, copy=False)
-        return kept.astype(np.int64, copy=False)
+        return self.sig_read_from_state(
+            self.sig_noise_state(bank, row, temperature_c), noise_rng
+        )
+
+    def sig_response_multi(
+        self,
+        bank: int,
+        row: int,
+        passes: int,
+        temperature_c: float = 30.0,
+        rngs: "list[np.random.Generator] | None" = None,
+    ) -> list[np.ndarray]:
+        """``passes`` sig observations with the per-row state hoisted.
+
+        ``rngs`` holds one generator per pass -- repeat the same live
+        generator to consume a shared stream exactly as ``passes``
+        back-to-back :meth:`sig_response` calls would.  Returns the per-pass
+        position arrays (the caller applies its own filter reduction).
+        """
+        if passes <= 0:
+            raise ValueError(f"passes must be positive, got {passes}")
+        if rngs is None or len(rngs) != passes:
+            raise ValueError("rngs must supply exactly one generator per pass")
+        state = self.sig_noise_state(bank, row, temperature_c)
+        return [self.sig_read_from_state(state, rng) for rng in rngs]
 
     def _sig_instability(self, temperature_c: float) -> float:
         base = 1.0 - self.sig_stability

@@ -5,6 +5,13 @@ the rank.  The PUF evaluation operates on 8 KB *memory segments*, which for
 the x8, 8-chip modules of the paper correspond exactly to one module row, so
 the module exposes segment-granular signature / failure reads that aggregate
 the per-chip responses with the appropriate bit offsets.
+
+The multi-read entry points (:meth:`DRAMModule.sig_response_multi`,
+:meth:`DRAMModule.rp_response_multi`, and the counting-kernel
+:meth:`DRAMModule.rcd_filtered_response`) evaluate a whole filtered response
+in one pass -- per-chip profile memos and hoisted read state derived once per
+call, all per-read noise drawn from the supplied generators in the exact
+scalar order -- and are bit-identical to the retained scalar loops.
 """
 
 from __future__ import annotations
@@ -15,9 +22,17 @@ import numpy as np
 
 from repro.core.signals import SignalSchedule
 from repro.core.variants import VariantFunction
-from repro.dram.chip import DRAMChip, VendorProfile, VENDOR_PROFILES
+from repro.dram.chip import DRAMChip, VendorProfile, VENDOR_PROFILES, _ProfileMemo
 from repro.dram.geometry import DRAMGeometry, ModuleGeometry, STANDARD_CHIP_GEOMETRIES
 from repro.utils.rng import derive_seed
+
+
+#: Byte budget of the module-level segment-profile memo.  One warm entry is a
+#: whole rank's concatenated profile (~32 KB for the paper's 8-chip DDR3
+#: modules), and the warm regimes this memo serves (daemon steady state,
+#: fleet warm store, pair-block replays) revisit hundreds of distinct rows --
+#: a per-chip-sized budget would thrash before a block replay completes.
+SEGMENT_PROFILE_MEMO_BYTES = 4 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -59,6 +74,23 @@ class DRAMModule:
             )
             for i in range(self.chips_per_rank * self.ranks)
         ]
+        # Memo of *concatenated* segment failure profiles (offset cells +
+        # probabilities across the rank), so the multi-read kernels derive a
+        # segment's profile once per (timing, rank) instead of touching every
+        # chip memo on every evaluate.  Entries are deterministic, so a
+        # wholesale clear never changes responses.
+        self._segment_profile_cache = _ProfileMemo(SEGMENT_PROFILE_MEMO_BYTES)
+
+    def reset_profile_memos(self) -> None:
+        """Drop the segment-profile memo and every chip's profile memos.
+
+        Responses are unchanged (the memos hold pure functions of seed,
+        address and timing); used by cold-path benchmarks and memory-pressure
+        escape hatches.
+        """
+        self._segment_profile_cache.clear()
+        for chip in self.chips:
+            chip.reset_profile_memos()
 
     # ------------------------------------------------------------------
     # Geometry
@@ -180,6 +212,51 @@ class DRAMModule:
             ]
         )
 
+    def sig_response_multi(
+        self,
+        segment: SegmentAddress,
+        passes: int,
+        temperature_c: float = 30.0,
+        rngs: "list[np.random.Generator] | None" = None,
+        rank: int = 0,
+    ) -> np.ndarray:
+        """Filtered CODIC-sig response: ``passes`` reads, intersection kept.
+
+        One-pass counting kernel for the multi-read evaluate hot path.  Noise
+        is drawn in exactly the scalar order -- pass-major, chip-minor, one
+        generator per pass (repeat the same live generator to share one
+        stream) -- with the per-chip weak-cell memo lookup and instability
+        hoisted out of the read loop (:meth:`DRAMChip.sig_noise_state`).  The
+        per-pass ``intersect_filter`` reduction is replaced by a single
+        ``np.unique(return_counts=True)`` over the concatenated per-pass
+        position arrays: every pass contributes a sorted *unique* array, so a
+        position is in the intersection iff its count equals ``passes``.
+        """
+        if passes <= 0:
+            raise ValueError(f"passes must be positive, got {passes}")
+        if rngs is None or len(rngs) != passes:
+            raise ValueError("rngs must supply exactly one generator per pass")
+        per_chip_bits = self.chip_geometry.row_bits
+        states = []
+        for offset, chip, weak in self._sig_weak_parts(segment, rank):
+            # Same float association as DRAMChip.sig_noise_state:
+            # (instability * fraction) * row_bits.
+            instability = chip._sig_instability(temperature_c)
+            spurious_lam = (instability * chip.sig_weak_fraction) * per_chip_bits
+            states.append((offset, chip, (weak, instability, spurious_lam)))
+        parts: list[np.ndarray] = []
+        for rng in rngs:
+            for offset, chip, state in states:
+                positions = chip.sig_read_from_state(state, rng)
+                if positions.size:
+                    parts.append(positions + offset)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if passes == 1:
+            return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        positions, counts = np.unique(np.concatenate(parts), return_counts=True)
+        return positions[counts == passes]
+
     def rcd_response(
         self,
         segment: SegmentAddress,
@@ -196,6 +273,73 @@ class DRAMModule:
             ]
         )
 
+    def _sig_weak_parts(
+        self, segment: SegmentAddress, rank: int
+    ) -> tuple[tuple[int, DRAMChip, np.ndarray], ...]:
+        """Per-chip ``(offset, chip, weak_cells)`` of one segment, memoized.
+
+        The weak arrays stay per-chip (each read draws per-chip noise between
+        them, so they cannot concatenate), but the module-level memo keeps a
+        whole segment's worth resident through block replays that would
+        thrash the byte-bounded per-chip memos.
+        """
+        key = ("sig", segment.bank, segment.row, rank)
+        cached = self._segment_profile_cache.get(key)
+        if cached is not None:
+            return cached
+        per_chip_bits = self.chip_geometry.row_bits
+        parts = tuple(
+            (index * per_chip_bits, chip, chip.sig_weak_cells(segment.bank, segment.row))
+            for index, chip in enumerate(self.rank_chips(rank))
+        )
+        self._segment_profile_cache.put(
+            key, parts, sum(part[2].nbytes for part in parts)
+        )
+        return parts
+
+    def _concat_profile(
+        self, kind: str, segment: SegmentAddress, timing_ns: float, rank: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rank-wide failure profile: offset cells + probabilities, memoized.
+
+        Chips with an empty profile are skipped entirely, matching the scalar
+        per-chip loops that return before consuming any noise draw for them.
+        """
+        key = (kind, segment.bank, segment.row, float(timing_ns), rank)
+        cached = self._segment_profile_cache.get(key)
+        if cached is not None:
+            return cached
+        per_chip_bits = self.chip_geometry.row_bits
+        cell_parts: list[np.ndarray] = []
+        prob_parts: list[np.ndarray] = []
+        for index, chip in enumerate(self.rank_chips(rank)):
+            if kind == "rcd":
+                cells, probabilities = chip.rcd_failure_profile(
+                    segment.bank, segment.row, timing_ns
+                )
+            else:
+                cells, probabilities = chip.rp_failure_profile(
+                    segment.bank, segment.row, timing_ns
+                )
+            if cells.size:
+                cell_parts.append(cells + (index * per_chip_bits))
+                prob_parts.append(probabilities)
+        if not cell_parts:
+            cells = np.empty(0, dtype=np.int64)
+            probabilities = np.empty(0, dtype=np.float64)
+        elif len(cell_parts) == 1:
+            cells = cell_parts[0]
+            probabilities = prob_parts[0]
+        else:
+            cells = np.concatenate(cell_parts)
+            probabilities = np.concatenate(prob_parts)
+        cells.setflags(write=False)
+        probabilities.setflags(write=False)
+        self._segment_profile_cache.put(
+            key, (cells, probabilities), cells.nbytes + probabilities.nbytes
+        )
+        return cells, probabilities
+
     def rcd_filtered_response(
         self,
         segment: SegmentAddress,
@@ -206,7 +350,49 @@ class DRAMModule:
         rng: np.random.Generator | None = None,
         rank: int = 0,
     ) -> np.ndarray:
-        """DRAM Latency PUF filtered response (``reads`` reads, keep > threshold)."""
+        """DRAM Latency PUF filtered response (``reads`` reads, keep > threshold).
+
+        Counting kernel: with a supplied ``rng``, all per-chip per-read
+        binomial failure-count draws fuse into one rank-wide
+        ``rng.binomial`` over the memoized concatenated segment profile --
+        bit-identical to the per-chip loop because binomial sampling consumes
+        the stream element-wise in array order.  Without a supplied ``rng``
+        every chip derives its own default noise stream, so the retained
+        scalar loop runs instead.
+        """
+        if rng is None:
+            return self.rcd_filtered_response_scalar(
+                segment, trcd_ns, reads, threshold, temperature_c, rng, rank
+            )
+        cells, probabilities = self._concat_profile("rcd", segment, trcd_ns, rank)
+        if cells.size == 0:
+            return np.empty(0, dtype=np.int64)
+        delta_t = temperature_c - 30.0
+        if delta_t:
+            shifted = probabilities + self.vendor.rcd_temp_sensitivity * delta_t
+            shifted.clip(0.0, 1.0, out=shifted)
+        else:
+            # Profile probabilities are already clipped to [0.02, 0.98], so
+            # the scalar path's "+ 0.0 then clip" is a value-level no-op.
+            shifted = probabilities
+        counts = rng.binomial(reads, shifted)
+        return cells[counts > threshold]
+
+    def rcd_filtered_response_scalar(
+        self,
+        segment: SegmentAddress,
+        trcd_ns: float,
+        reads: int,
+        threshold: int,
+        temperature_c: float = 30.0,
+        rng: np.random.Generator | None = None,
+        rank: int = 0,
+    ) -> np.ndarray:
+        """Scalar reference loop for :meth:`rcd_filtered_response`.
+
+        Retained verbatim (per-chip profile lookup, shift, binomial) as the
+        byte-identity reference behind ``REPRO_PUF_SCALAR=1``.
+        """
         return self._aggregate(
             [
                 chip.rcd_filtered_response(
@@ -232,3 +418,46 @@ class DRAMModule:
                 for chip in self.rank_chips(rank)
             ]
         )
+
+    def rp_response_multi(
+        self,
+        segment: SegmentAddress,
+        passes: int,
+        trp_ns: float,
+        temperature_c: float = 30.0,
+        rngs: "list[np.random.Generator] | None" = None,
+        rank: int = 0,
+    ) -> np.ndarray:
+        """Filtered PreLatPUF response: ``passes`` accesses, intersection kept.
+
+        Because every reduced-tRP read draws exactly ``cells.size`` uniforms
+        against a fixed effective-probability vector, all passes coalesce:
+        with one shared generator the kernel makes a single
+        ``rng.random(passes * cells)`` draw (bit-identical to the scalar
+        pass-major/chip-minor order, since uniform fills split exactly at any
+        boundary), and the intersection is ``fails.all(axis=0)`` over the
+        (passes, cells) failure matrix -- no per-pass reduction at all.
+        """
+        if passes <= 0:
+            raise ValueError(f"passes must be positive, got {passes}")
+        if rngs is None or len(rngs) != passes:
+            raise ValueError("rngs must supply exactly one generator per pass")
+        cells, probabilities = self._concat_profile("rp", segment, trp_ns, rank)
+        if cells.size == 0:
+            return np.empty(0, dtype=np.int64)
+        delta_t = abs(temperature_c - 30.0)
+        if delta_t:
+            effective = probabilities - self.vendor.rp_temp_sensitivity * delta_t
+            effective.clip(0.0, 1.0, out=effective)
+        else:
+            effective = probabilities
+        total = cells.size
+        first = rngs[0]
+        if all(rng is first for rng in rngs):
+            draws = first.random(passes * total).reshape(passes, total)
+        else:
+            draws = np.stack([rng.random(total) for rng in rngs])
+        fails = draws < effective
+        if passes == 1:
+            return cells[fails[0]]
+        return cells[fails.all(axis=0)]

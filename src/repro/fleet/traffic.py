@@ -42,6 +42,12 @@ evaluation never mutates device state, regrouping is invisible: the batched
 block is bit-identical to the scalar reference loop, which is kept as
 :func:`authenticate_block_scalar` and can be forced process-wide with
 ``REPRO_FLEET_SCALAR=1`` (how CI proves byte-identity end to end).
+
+Per-request PUF evaluation inside the grouped phase (and golden enrollment)
+runs the multi-read module kernels of :mod:`repro.dram.module` -- each
+``device.evaluate`` call is one counting kernel over a memoized segment
+profile instead of a per-read Python loop (``REPRO_PUF_SCALAR=1`` forces the
+scalar reference loops there, independently of ``REPRO_FLEET_SCALAR``).
 """
 
 from __future__ import annotations

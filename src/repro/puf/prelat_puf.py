@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.dram.module import DRAMModule
 from repro.puf.base import Challenge, PUFResponse
-from repro.puf.filtering import intersect_filter
+from repro.puf.filtering import intersect_filter, scalar_mode_forced
 from repro.utils.rng import make_rng
 
 
@@ -50,7 +50,49 @@ class PreLatPUF:
         temperature_c: float = 30.0,
         rng: np.random.Generator | None = None,
     ) -> PUFResponse:
-        """Evaluate the PUF on one challenge."""
+        """Evaluate the PUF on one challenge.
+
+        Routes through the coalesced multi-read kernel
+        (:meth:`repro.dram.module.DRAMModule.rp_response_multi`), which is
+        bit-identical to the retained :meth:`evaluate_scalar` loop;
+        ``REPRO_PUF_SCALAR=1`` forces the scalar path process-wide.
+        """
+        if scalar_mode_forced():
+            return self.evaluate_scalar(challenge, temperature_c, rng)
+        passes = self.filter_passes
+        if rng is None:
+            # Advance the bookkeeping counter exactly as the scalar loop's
+            # per-pass `_single_pass` calls would, so default-seeded noise
+            # sequences stay reproducible across both paths.
+            rngs = []
+            for pass_index in range(passes):
+                self._evaluations += 1
+                rngs.append(
+                    make_rng(self.noise_seed, "prelat-puf", self._evaluations, pass_index)
+                )
+        else:
+            rngs = [rng] * passes
+        positions = self.module.rp_response_multi(
+            challenge.segment,
+            passes,
+            trp_ns=self.trp_ns,
+            temperature_c=temperature_c,
+            rngs=rngs,
+        )
+        # Freshly built and unaliased: freeze in place so PUFResponse takes
+        # the zero-copy fast path.
+        positions.setflags(write=False)
+        return PUFResponse(
+            position_array=positions, challenge=challenge, temperature_c=temperature_c
+        )
+
+    def evaluate_scalar(
+        self,
+        challenge: Challenge,
+        temperature_c: float = 30.0,
+        rng: np.random.Generator | None = None,
+    ) -> PUFResponse:
+        """Scalar reference loop: per-pass reads reduced by `intersect_filter`."""
         observations = [
             self._single_pass(challenge, temperature_c, rng, pass_index)
             for pass_index in range(self.filter_passes)

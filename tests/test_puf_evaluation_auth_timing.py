@@ -177,6 +177,28 @@ class TestTimingModel:
         assert table["CODIC-sig PUF"]["with_filter_ms"] == pytest.approx(4.41, rel=0.05)
         assert table["CODIC-sig PUF"]["without_filter_ms"] == pytest.approx(0.88, rel=0.05)
 
+    def test_table4_respects_filter_parameters(self):
+        # Regression: table4 used to hardcode dram_latency_puf(100) and the
+        # 5-pass light filters regardless of the requested configuration.
+        model = PUFTimingModel()
+        table = model.table4(latency_filter_reads=50, light_filter_passes=3)
+        assert table["DRAM Latency PUF"]["with_filter_ms"] == pytest.approx(
+            model.dram_latency_puf(50).total_ms
+        )
+        assert table["DRAM Latency PUF"]["with_filter_ms"] == pytest.approx(
+            model.table4()["DRAM Latency PUF"]["with_filter_ms"] / 2
+        )
+        assert table["PreLatPUF"]["with_filter_ms"] == pytest.approx(
+            model.prelat_puf(3).total_ms
+        )
+        assert table["CODIC-sig PUF"]["with_filter_ms"] == pytest.approx(
+            model.codic_sig(3).total_ms
+        )
+        # The unfiltered columns stay single-pass in every configuration.
+        assert table["CODIC-sig PUF"]["without_filter_ms"] == pytest.approx(
+            model.codic_sig(1).total_ms
+        )
+
     def test_codic_faster_than_prelat_by_1_8x(self):
         model = PUFTimingModel()
         ratio = model.prelat_puf(5).total_ms / model.codic_sig(5).total_ms

@@ -155,6 +155,54 @@ class TestMain:
         assert "requests" in out
         assert "1410.0" in out
 
+    def test_check_mode_accepts_committed_trajectories(self, summarize, capsys):
+        assert summarize.main(["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_pair_kernels.json: ok" in out
+        assert "BENCH_fleet.json: ok" in out
+
+    def test_check_mode_flags_schema_violations(self, summarize, tmp_path, capsys):
+        broken = {
+            "schema_version": 1,
+            "description": "broken sample",
+            "workload": {},
+            "unit": "pairs_per_second",
+            "entries": [
+                {
+                    "label": "bad entry",
+                    "smoke": False,
+                    "pairs": 0,  # must be positive
+                    "pairs_per_second": {"scalar": {"CODIC": -5.0}},  # must be > 0
+                },
+                {
+                    # label/smoke/pairs missing entirely
+                    "pairs_per_second": {},
+                },
+            ],
+        }
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(broken))
+        assert summarize.main(["--file", str(path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "entries[0].pairs must be a positive integer" in out
+        assert "positive number" in out
+        assert "entries[1].label must be a string" in out
+
+    def test_check_mode_requires_header_fields(self, summarize, tmp_path, capsys):
+        path = tmp_path / "headless.json"
+        path.write_text(json.dumps({"entries": []}))
+        assert summarize.main(["--file", str(path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "schema_version must be an integer" in out
+        assert "unit must be a string" in out
+
+    def test_check_mode_rejects_unreadable_file(self, summarize, tmp_path, capsys):
+        path = tmp_path / "mangled.json"
+        path.write_text("{not json")
+        assert summarize.main(["--file", str(path), "--check"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
     def test_committed_trajectories_render(self, summarize, capsys):
         # The repo's own BENCH_pair_kernels.json and BENCH_fleet.json must
         # stay renderable; without --file both are printed.

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Perf-regression sentinel: compare a fresh bench artifact to a trajectory.
+
+A fresh benchmark run (``benchmarks/test_bench_pair_kernels.py`` /
+``test_bench_fleet.py``) writes one entry-shaped artifact
+(``bench-pair-kernels.json`` / ``bench-fleet.json``); the committed
+``BENCH_*.json`` files hold the curated trajectory across PRs.  This script
+compares each fresh ``(config, PUF)`` rate against the most recent
+non-smoke baseline entry that recorded the same series and emits a
+machine-readable verdict, so CI can stop a PR from silently regressing the
+committed numbers::
+
+    $ python benchmarks/check_regression.py \\
+          --fresh bench-fleet.json --baseline BENCH_fleet.json \\
+          --tolerance 0.30 --band warm=0.5
+    {"status": "ok", ... "series": [...]}
+
+A series *regresses* when ``fresh/baseline < 1 - tolerance``; ``--band
+CONFIG=FRACTION`` overrides the global tolerance per configuration (warm
+replays are noisier than cold ones).  Series present only in the fresh
+artifact report as ``new`` and never fail the check; series present only in
+the baseline are ignored (configurations come and go across PRs).
+
+Enforcement policy (what CI relies on): schema violations in either file
+always exit 2 -- a malformed artifact must fail the build even on smoke
+numbers.  Regressions exit 1 only when the comparison is *enforced*: smoke
+artifacts (``"smoke": true`` -- CI's shrunken workloads, not comparable to
+the committed full-scale rates) and ``--report-only`` runs report their
+verdict but exit 0.  Pass ``--enforce-smoke`` to make smoke numbers
+blocking anyway (e.g. against a smoke baseline of the same workload).
+
+Pure stdlib on purpose: runs anywhere without ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from summarize_trajectory import check_trajectory, count_key, rate_key  # noqa: E402
+
+#: Default allowed fractional drop before a series counts as regressed.
+#: Single-machine throughput numbers are noisy; 30% is far outside run-to-run
+#: jitter for the committed workloads but well inside any real kernel loss.
+DEFAULT_TOLERANCE = 0.30
+
+
+def check_entry(entry: object, unit: str, count: str) -> list[str]:
+    """Schema-validate one fresh artifact entry (the trajectory entry shape)."""
+    problems: list[str] = []
+    if not isinstance(entry, dict):
+        return [f"artifact must be a JSON object, got {type(entry).__name__}"]
+    if not isinstance(entry.get("label"), str):
+        problems.append("label must be a string")
+    if not isinstance(entry.get("smoke"), bool):
+        problems.append("smoke must be a boolean")
+    if not (isinstance(entry.get(count), int) and not isinstance(entry.get(count), bool) and entry.get(count) > 0):
+        problems.append(f"{count} must be a positive integer")
+    rates = entry.get(unit)
+    if not isinstance(rates, dict) or not rates:
+        return problems + [f"{unit} must be a non-empty object"]
+    for config, per_puf in rates.items():
+        if not isinstance(per_puf, dict) or not per_puf:
+            problems.append(f"{unit}[{config!r}] must be a non-empty object")
+            continue
+        for puf, rate in per_puf.items():
+            if isinstance(rate, bool) or not isinstance(rate, (int, float)) or rate <= 0:
+                problems.append(
+                    f"{unit}[{config!r}][{puf!r}] must be a positive number, "
+                    f"got {rate!r}"
+                )
+    return problems
+
+
+def baseline_series(baseline: dict) -> dict[tuple[str, str], tuple[float, str]]:
+    """Latest non-smoke ``(config, PUF) -> (rate, entry label)`` map.
+
+    Scans entries newest-first so each series compares against the most
+    recent committed measurement that recorded it -- older entries only fill
+    series the newer ones dropped.  Smoke entries never serve as baselines:
+    their shrunken workloads measure a different thing.
+    """
+    unit = rate_key(baseline)
+    series: dict[tuple[str, str], tuple[float, str]] = {}
+    for entry in reversed(baseline.get("entries", [])):
+        if entry.get("smoke"):
+            continue
+        label = entry.get("label", "?")
+        for config, per_puf in entry.get(unit, {}).items():
+            for puf, rate in per_puf.items():
+                series.setdefault((config, puf), (float(rate), label))
+    return series
+
+
+def compare(
+    fresh: dict,
+    baseline: dict,
+    *,
+    tolerance: float,
+    bands: dict[str, float],
+) -> list[dict]:
+    """Per-series verdict rows, in the fresh artifact's iteration order."""
+    unit = rate_key(baseline)
+    known = baseline_series(baseline)
+    rows: list[dict] = []
+    for config, per_puf in fresh.get(unit, {}).items():
+        allowed = bands.get(config, tolerance)
+        for puf, rate in per_puf.items():
+            row: dict = {
+                "config": config,
+                "puf": puf,
+                "fresh": float(rate),
+                "tolerance": allowed,
+            }
+            base = known.get((config, puf))
+            if base is None:
+                row.update({"baseline": None, "ratio": None, "status": "new"})
+            else:
+                value, label = base
+                ratio = float(rate) / value
+                row.update(
+                    {
+                        "baseline": value,
+                        "baseline_label": label,
+                        "ratio": round(ratio, 4),
+                        "status": "regression" if ratio < 1.0 - allowed else "ok",
+                    }
+                )
+            rows.append(row)
+    return rows
+
+
+def parse_band(text: str) -> tuple[str, float]:
+    config, _, fraction = text.partition("=")
+    try:
+        value = float(fraction)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"band must look like CONFIG=FRACTION, got {text!r}"
+        ) from None
+    if not config or not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"band fraction must be in [0, 1), got {text!r}"
+        )
+    return config, value
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a fresh bench artifact against a committed "
+        "BENCH_*.json trajectory and emit a machine-readable verdict."
+    )
+    parser.add_argument("--fresh", type=Path, required=True, metavar="FILE",
+                        help="fresh artifact (bench-*.json entry shape)")
+    parser.add_argument("--baseline", type=Path, required=True, metavar="FILE",
+                        help="committed trajectory (BENCH_*.json)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        metavar="FRACTION",
+                        help="allowed fractional drop per series "
+                        f"(default: {DEFAULT_TOLERANCE})")
+    parser.add_argument("--band", type=parse_band, action="append", default=[],
+                        metavar="CONFIG=FRACTION",
+                        help="per-configuration tolerance override "
+                        "(repeatable, e.g. --band warm=0.5)")
+    parser.add_argument("--report-only", action="store_true",
+                        dest="report_only",
+                        help="always exit 0 on regressions (schema problems "
+                        "still exit 2)")
+    parser.add_argument("--enforce-smoke", action="store_true",
+                        dest="enforce_smoke",
+                        help="treat smoke-artifact regressions as blocking "
+                        "instead of report-only")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, ValueError) as error:
+        print(f"cannot read baseline {args.baseline}: {error}", file=sys.stderr)
+        return 2
+    try:
+        fresh = json.loads(args.fresh.read_text())
+    except (OSError, ValueError) as error:
+        print(f"cannot read fresh artifact {args.fresh}: {error}", file=sys.stderr)
+        return 2
+
+    problems = [f"baseline: {p}" for p in check_trajectory(baseline)]
+    if not problems:
+        problems += [
+            f"fresh: {p}"
+            for p in check_entry(fresh, rate_key(baseline), count_key(baseline))
+        ]
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 2
+
+    bands = dict(args.band)
+    rows = compare(fresh, baseline, tolerance=args.tolerance, bands=bands)
+    regressions = [row for row in rows if row["status"] == "regression"]
+    smoke = bool(fresh.get("smoke"))
+    enforced = not args.report_only and (not smoke or args.enforce_smoke)
+    verdict = {
+        "fresh": str(args.fresh),
+        "baseline": str(args.baseline),
+        "unit": rate_key(baseline),
+        "tolerance": args.tolerance,
+        "bands": bands,
+        "smoke": smoke,
+        "enforced": enforced,
+        "status": "regression" if regressions else "ok",
+        "regressions": len(regressions),
+        "new_series": sum(1 for row in rows if row["status"] == "new"),
+        "series": rows,
+    }
+    print(json.dumps(verdict, indent=2))
+    if regressions:
+        for row in regressions:
+            print(
+                f"regression: {row['config']}/{row['puf']} "
+                f"{row['fresh']:.1f} vs {row['baseline']:.1f} "
+                f"({100.0 * (1.0 - row['ratio']):.1f}% drop, "
+                f"allowed {100.0 * row['tolerance']:.0f}%)",
+                file=sys.stderr,
+            )
+        if not enforced:
+            print(
+                "regressions reported only (smoke artifact or --report-only); "
+                "exiting 0",
+                file=sys.stderr,
+            )
+    return 1 if regressions and enforced else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Aggregate an NDJSON span trace (the ``--trace FILE`` output) as text.
+"""Aggregate NDJSON span traces (the ``--trace FILE`` output) as text.
 
-Two views over the records written by :mod:`repro.telemetry.spans`::
+Views over the records written by :mod:`repro.telemetry.spans`::
 
     $ python benchmarks/summarize_trace.py run.trace
-    span time by (name, kind) -- 42 spans, 3 process(es)
+    span time by (name, kind) -- 42 spans, 3 process(es), 2 trace id(s)
     name              kind    count  total_s  mean_ms   max_ms  share
     ...
 
@@ -24,6 +24,14 @@ the largest child, printing each hop's share of its parent.  Worker spans
 carry the submitting process's span id as their parent, so the path crosses
 process boundaries.
 
+Requests: records may carry a ``trace`` key -- the per-request trace id the
+CLI mints and the daemon propagates into its pool workers.  Passing several
+trace files (e.g. the client's ``--trace`` file plus the daemon's) merges
+them into one record set, so a daemon-routed request reassembles into a
+single tree.  ``--trace-id ID`` narrows every view to one request;
+``--per-request`` prints a critical path per trace id instead of one global
+path.  Traces from before the trace-id era (no ``trace`` key) still load.
+
 Pure stdlib on purpose: runs anywhere without ``PYTHONPATH``.
 """
 
@@ -34,7 +42,8 @@ import json
 import sys
 from pathlib import Path
 
-#: Keys every record must carry (mirrors repro.telemetry.TRACE_RECORD_KEYS).
+#: Keys every record must carry (mirrors repro.telemetry.TRACE_RECORD_KEYS,
+#: minus the optional ``trace`` request id, absent from pre-trace-id files).
 RECORD_KEYS = ("span", "parent", "name", "kind", "pid", "ts", "duration_s", "labels")
 
 
@@ -97,6 +106,18 @@ def root_spans(records: list[dict]) -> list[dict]:
     ]
 
 
+def trace_groups(records: list[dict]) -> dict[str | None, list[dict]]:
+    """Records grouped by request trace id, in first-appearance order.
+
+    Records without a ``trace`` key (or with ``trace: null``) group under
+    ``None`` -- process-scoped spans from before trace-id propagation.
+    """
+    groups: dict[str | None, list[dict]] = {}
+    for record in records:
+        groups.setdefault(record.get("trace"), []).append(record)
+    return groups
+
+
 def critical_path(records: list[dict]) -> list[dict]:
     """Longest root, then repeatedly the largest child (cross-process)."""
     children: dict[str, list[dict]] = {}
@@ -133,30 +154,9 @@ def render_table(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join([format_row(headers), separator] + [format_row(row) for row in rows])
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Summarize an NDJSON span trace: per-(name, kind) time "
-        "table plus the critical path."
-    )
-    parser.add_argument("trace", type=Path, metavar="FILE",
-                        help="NDJSON trace written by --trace")
-    args = parser.parse_args(argv)
-    try:
-        records = load_trace(args.trace)
-    except (OSError, ValueError) as error:
-        print(f"cannot read trace: {error}", file=sys.stderr)
-        return 1
-    if not records:
-        print("trace is empty")
-        return 0
-
-    pids = {record["pid"] for record in records}
-    print(f"span time by (name, kind) -- {len(records)} span(s), {len(pids)} process(es)")
-    print(render_table(*time_table(records)))
-
+def _print_critical_path(records: list[dict], title: str) -> None:
     path = critical_path(records)
-    print()
-    print("critical path (longest child chain from the longest root)")
+    print(title)
     headers = ["depth", "span", "duration_s", "of parent"]
     rows = []
     for depth, record in enumerate(path):
@@ -178,6 +178,65 @@ def main(argv: list[str] | None = None) -> int:
             ]
         )
     print(render_table(headers, rows))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize NDJSON span traces: per-(name, kind) time "
+        "table plus critical paths.  Multiple files merge into one record "
+        "set, so a client trace and a daemon trace reassemble one "
+        "cross-process request tree."
+    )
+    parser.add_argument("traces", type=Path, metavar="FILE", nargs="+",
+                        help="NDJSON trace file(s) written by --trace")
+    parser.add_argument("--trace-id", default=None, metavar="ID",
+                        dest="trace_id",
+                        help="only consider spans of this request trace id")
+    parser.add_argument("--per-request", action="store_true",
+                        dest="per_request",
+                        help="print one critical path per trace id instead "
+                        "of a single global path")
+    args = parser.parse_args(argv)
+    records: list[dict] = []
+    try:
+        for path in args.traces:
+            records.extend(load_trace(path))
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 1
+    if args.trace_id is not None:
+        records = [r for r in records if r.get("trace") == args.trace_id]
+        if not records:
+            print(f"no spans carry trace id {args.trace_id}", file=sys.stderr)
+            return 1
+    if not records:
+        print("trace is empty")
+        return 0
+
+    pids = {record["pid"] for record in records}
+    trace_ids = {record.get("trace") for record in records} - {None}
+    suffix = f", {len(trace_ids)} trace id(s)" if trace_ids else ""
+    print(
+        f"span time by (name, kind) -- {len(records)} span(s), "
+        f"{len(pids)} process(es){suffix}"
+    )
+    print(render_table(*time_table(records)))
+
+    if args.per_request and trace_ids:
+        for trace_id, group in trace_groups(records).items():
+            label = trace_id if trace_id is not None else "(untagged)"
+            group_pids = {record["pid"] for record in group}
+            print()
+            _print_critical_path(
+                group,
+                f"critical path for request {label} -- "
+                f"{len(group)} span(s), {len(group_pids)} process(es)",
+            )
+    else:
+        print()
+        _print_critical_path(
+            records, "critical path (longest child chain from the longest root)"
+        )
     return 0
 
 

@@ -24,8 +24,25 @@ frame carrying per-request cache stats), ``fleet`` (one fleet traffic job
 config; same event stream, done frame additionally carries this request's
 auth-latency histogram), ``cancel`` (abort an in-flight request by id),
 ``metrics`` (Prometheus text exposition of the daemon's telemetry
-registry), ``status``, ``ping``, and ``shutdown``.  Error responses are
-``{"type": "error", "message": ...}``.
+registry), ``dump``/``tail`` (the flight recorder's per-request diagnostic
+records; ``tail`` can ``follow`` the stream live), ``status``, ``ping``,
+and ``shutdown``.  Error responses are ``{"type": "error", "message":
+...}``.
+
+Request tracing: every work request runs under a ``trace_id`` -- adopted
+from the client's request frame when it sent one (so client, daemon, and
+pool-worker spans form one tree per request), minted fresh otherwise --
+and every ``accepted``/``event``/terminal frame the request produces
+carries it back, so a client can tie each frame to its trace.  A client
+may also send ``parent_span`` to parent the daemon's ``daemon.request``
+span under its own; spans are only *recorded* when the daemon was started
+with ``--trace``.
+
+Flight recorder: the daemon retains the last *N* completed work requests
+(:class:`repro.telemetry.FlightRecorder` -- frames sent, queue wait, phase
+timings, outcome, cache/retry/rebuild/fault tallies, slow-request flag)
+for post-hoc diagnosis via ``dump``/``tail``; ``status`` embeds its
+occupancy, slow-request count, and last error.
 
 Service semantics (this is a multi-client daemon, not a one-shot pipe):
 
@@ -394,6 +411,8 @@ class _Handler(socketserver.StreamRequestHandler):
     def setup(self) -> None:
         super().setup()
         self._frames_sent = 0
+        self._record: "telemetry.RequestRecord | None" = None
+        self._record_base = (0, 0, 0)
 
     def handle(self) -> None:  # pragma: no cover - exercised via the client
         daemon: ExperimentDaemon = self.server.daemon  # type: ignore[attr-defined]
@@ -426,6 +445,10 @@ class _Handler(socketserver.StreamRequestHandler):
                         "text": telemetry.registry().render_prometheus(),
                     }
                 )
+            elif op == "dump":
+                self._send({"type": "dump", **daemon.recorder.dump()})
+            elif op == "tail":
+                self._handle_tail(daemon, request)
             elif op in ("submit", "fleet"):
                 self._handle_work(daemon, request, op)
             elif op == "cancel":
@@ -443,8 +466,44 @@ class _Handler(socketserver.StreamRequestHandler):
             raise
         except BrokenPipeError:
             pass  # client went away mid-stream; nothing to clean up here
-        except Exception:
+        except Exception as error:
+            daemon.recorder.note_error(type(error).__name__, str(error))
             self._send({"type": "error", "message": traceback.format_exc()})
+
+    def _handle_tail(
+        self, daemon: "ExperimentDaemon", request: dict[str, Any]
+    ) -> None:
+        """Serve the newest flight-recorder records; optionally follow live.
+
+        The initial ``tail`` frame carries the last ``count`` records and the
+        recorder's sequence cursor.  With ``follow``, the connection then
+        streams one ``record`` frame per completed request as they land; a
+        periodic ``keepalive`` frame doubles as disconnect detection (a gone
+        client surfaces as :class:`_ClientGone` on the next send), so an
+        idle daemon cannot strand follower threads forever.
+        """
+        count = request.get("count", 10)
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            self._send({"type": "error", "message": "count must be a non-negative int"})
+            return
+        records = daemon.recorder.records(last=count)
+        cursor = daemon.recorder.latest_seq()
+        self._send({"type": "tail", "records": records, "seq": cursor})
+        if not request.get("follow") or not daemon.recorder.enabled:
+            return
+        idle_rounds = 0
+        while True:
+            fresh = daemon.recorder.wait_for_newer(cursor, timeout=0.5)
+            if fresh:
+                idle_rounds = 0
+                for record in fresh:
+                    self._send({"type": "record", "record": record})
+                cursor = fresh[-1]["seq"]
+            else:
+                idle_rounds += 1
+                if idle_rounds >= 4:  # ~2s idle: probe the peer
+                    idle_rounds = 0
+                    self._send({"type": "keepalive"})
 
     def _handle_work(
         self, daemon: "ExperimentDaemon", request: dict[str, Any], op: str
@@ -465,6 +524,18 @@ class _Handler(socketserver.StreamRequestHandler):
         cache; refused/busy/cancelled requests count as neither.  The run
         helpers return the ``done`` frame instead of sending it so every
         metric is updated *before* the client sees the request complete.
+
+        Trace context: the client's ``trace_id`` (minted fresh when it sent
+        none) is installed in this handler thread's context for the whole
+        request -- the ``daemon.request`` span and, through the executor's
+        submit path, every pool-worker span record it -- and stamped on the
+        ``accepted``/``event``/terminal frames.  The flight recorder's
+        :class:`~repro.telemetry.RequestRecord` opens once the request id is
+        registered and is finalized *before* the terminal frame goes out
+        (so a client that dumps the moment it sees ``done`` finds the
+        record already in the ring), with an idempotent ``finally`` safety
+        net so every exit path -- including disconnects and handler crashes,
+        which send no terminal frame -- still leaves a record.
         """
         reg = telemetry.registry()
         reg.counter(telemetry.DAEMON_REQUESTS).inc()
@@ -479,37 +550,54 @@ class _Handler(socketserver.StreamRequestHandler):
         if timeout_s is not None and (
             not isinstance(timeout_s, (int, float)) or timeout_s <= 0
         ):
-            self._send(
-                {"type": "error", "message": "timeout_s must be a positive number"}
-            )
+            self._refuse(daemon, "timeout_s must be a positive number")
             return
+        trace_id = request.get("trace_id")
+        if not (isinstance(trace_id, str) and trace_id):
+            trace_id = telemetry.new_trace_id()
+        parent_span = request.get("parent_span")
+        if not isinstance(parent_span, str):
+            parent_span = None
         deadline = time.monotonic() + timeout_s if timeout_s is not None else None
         token = CancelToken(deadline=deadline)
         request_id = str(request.get("request_id") or daemon.next_request_id())
         if not daemon.register_request(request_id, token):
-            self._send(
-                {
-                    "type": "error",
-                    "message": f"request_id {request_id!r} is already in flight",
-                }
+            self._refuse(
+                daemon, f"request_id {request_id!r} is already in flight"
             )
             return
+        trace_token = telemetry.set_trace_id(trace_id)
+        record = daemon.recorder.begin(request_id, op, trace_id)
+        self._record = record
+        self._record_base = (
+            reg.counter(telemetry.ENGINE_JOB_RETRIES).value,
+            reg.counter(telemetry.FAULTS_INJECTED).value,
+            daemon.supervisor.rebuilds,
+        )
         try:
             self._send(
                 {
                     "type": "accepted",
                     "request_id": request_id,
+                    "trace_id": trace_id,
                     "inflight": daemon.queue.inflight,
                     "queued": daemon.queue.queued,
                 }
             )
+            queue_t0 = time.perf_counter()
             admission = daemon.queue.enter(token)
+            if record is not None:
+                record.queue_wait_s = time.perf_counter() - queue_t0
             if admission == "busy":
                 reg.counter(telemetry.DAEMON_REQUESTS_BUSY).inc()
+                if record is not None:
+                    record.outcome = "busy"
+                self._complete_record(daemon, "busy")
                 self._send(
                     {
                         "type": "busy",
                         "request_id": request_id,
+                        "trace_id": trace_id,
                         "message": (
                             f"daemon at capacity ({daemon.queue.max_inflight} "
                             f"in flight, {daemon.queue.queued} queued, "
@@ -519,56 +607,134 @@ class _Handler(socketserver.StreamRequestHandler):
                 )
                 return
             if admission != "ok":
-                self._settle_cancelled(reg, request_id, token, phase="queued")
+                self._settle_cancelled(
+                    reg, daemon, request_id, token, phase="queued",
+                    trace_id=trace_id,
+                )
                 return
             try:
                 start = time.perf_counter()
-                with telemetry.span("daemon.request", kind="daemon", op=op):
+                with telemetry.span(
+                    "daemon.request", kind="daemon", parent=parent_span,
+                    op=op, request_id=request_id,
+                ):
                     done = self._run_work(daemon, request, op, prepared, token)
-                reg.histogram(telemetry.DAEMON_REQUEST_SECONDS).observe(
-                    time.perf_counter() - start
-                )
+                run_s = time.perf_counter() - start
+                if record is not None:
+                    record.run_s = run_s
+                reg.histogram(telemetry.DAEMON_REQUEST_SECONDS).observe(run_s)
             finally:
                 daemon.queue.leave()
             if token.cancelled:
-                self._settle_cancelled(reg, request_id, token, phase="running")
+                self._settle_cancelled(
+                    reg, daemon, request_id, token, phase="running",
+                    trace_id=trace_id,
+                )
                 return
             if done is not None:
+                warm = done["misses"] == 0
                 reg.counter(
                     telemetry.DAEMON_REQUESTS_WARM
-                    if done["misses"] == 0
+                    if warm
                     else telemetry.DAEMON_REQUESTS_COLD
                 ).inc()
-                self._send({**done, "request_id": request_id})
+                if record is not None:
+                    record.outcome = "done"
+                    record.warm = warm
+                    record.hits = done["hits"]
+                    record.misses = done["misses"]
+                    record.memory_hits = done["memory_hits"]
+                self._complete_record(daemon, str(done.get("type")))
+                self._send({**done, "request_id": request_id, "trace_id": trace_id})
         except _ClientGone:
             token.cancel("disconnected")
             reg.counter(telemetry.DAEMON_DISCONNECTS).inc()
+            if record is not None:
+                record.outcome = "disconnected"
+            raise
+        except Exception as error:
+            if record is not None:
+                record.outcome = "error"
+                record.fail(type(error).__name__, str(error))
             raise
         finally:
+            self._complete_record(daemon, None)
             daemon.unregister_request(request_id)
+            telemetry.reset_trace_id(trace_token)
+
+    def _refuse(self, daemon: "ExperimentDaemon", message: str) -> None:
+        """Refuse a request at validation with an ``error`` frame.
+
+        Refusals happen before a request id exists, so they leave no ring
+        record -- but they do land in the flight recorder's error audit, so
+        ``daemon status`` still surfaces a client hammering the daemon with
+        malformed requests as its ``last_error``.
+        """
+        daemon.recorder.note_error("bad_request", message)
+        self._send({"type": "error", "message": message})
+
+    def _complete_record(self, daemon: "ExperimentDaemon", terminal: str | None) -> None:
+        """Finalize the open request record into the flight recorder.
+
+        Captures the counter deltas this request incurred, pre-counts the
+        terminal frame (``terminal``) that is about to be sent, and detaches
+        the record from the handler so :meth:`_send` stops tallying into it.
+        Runs *before* the terminal frame so the ring already holds the
+        record when the client observes the request finish; the caller's
+        ``finally`` re-invokes it harmlessly (no open record -> no-op, and
+        :meth:`FlightRecorder.complete` is idempotent besides).
+        """
+        record, self._record = self._record, None
+        if record is None:
+            return
+        reg = telemetry.registry()
+        retries0, faults0, rebuilds0 = self._record_base
+        record.retries = reg.counter(telemetry.ENGINE_JOB_RETRIES).value - retries0
+        record.faults = reg.counter(telemetry.FAULTS_INJECTED).value - faults0
+        record.rebuilds = daemon.supervisor.rebuilds - rebuilds0
+        if terminal is not None:
+            record.count_frame(terminal)
+        daemon.recorder.complete(record)
 
     def _settle_cancelled(
-        self, reg, request_id: str, token: CancelToken, *, phase: str
+        self,
+        reg,
+        daemon: "ExperimentDaemon",
+        request_id: str,
+        token: CancelToken,
+        *,
+        phase: str,
+        trace_id: str | None = None,
     ) -> None:
         """Send the structured frame matching why this request was aborted."""
         reason = token.reason or "cancelled"
+        if self._record is not None:
+            self._record.outcome = reason
         if reason == "timeout":
             reg.counter(telemetry.DAEMON_REQUESTS_TIMEOUT).inc()
+            self._complete_record(daemon, "timeout")
             self._send(
                 {
                     "type": "timeout",
                     "request_id": request_id,
+                    "trace_id": trace_id,
                     "phase": phase,
                     "message": f"request deadline passed while {phase}",
                 }
             )
         elif reason == "disconnected":
             reg.counter(telemetry.DAEMON_DISCONNECTS).inc()
-            # The peer is gone; nothing to send.
+            self._complete_record(daemon, None)  # the peer is gone; no frame
         else:
             reg.counter(telemetry.DAEMON_REQUESTS_CANCELLED).inc()
+            self._complete_record(daemon, "cancelled")
             self._send(
-                {"type": "cancelled", "request_id": request_id, "phase": phase}
+                {
+                    "type": "cancelled",
+                    "request_id": request_id,
+                    "trace_id": trace_id,
+                    "phase": phase,
+                }
             )
 
     def _send(self, message: dict[str, Any]) -> None:
@@ -585,6 +751,8 @@ class _Handler(socketserver.StreamRequestHandler):
         except (BrokenPipeError, ConnectionResetError, OSError) as error:
             raise _ClientGone(str(error)) from None
         self._frames_sent += 1
+        if self._record is not None:
+            self._record.count_frame(str(message.get("type")))
 
     def _check_shard_size(self, request: dict[str, Any]) -> bool:
         shard_size = request.get("shard_size")
@@ -602,15 +770,19 @@ class _Handler(socketserver.StreamRequestHandler):
         code_version = request.get("code_version")
         daemon_version = daemon.cache.disk.code_version
         if code_version is not None and code_version != daemon_version:
-            self._send(
-                {
-                    "type": "stale",
-                    "message": "daemon runs a different source fingerprint "
-                    "(package sources changed since daemon start); restart it "
-                    "with: daemon stop && daemon start",
-                    "daemon_code_version": daemon_version,
-                }
-            )
+            frame = {
+                "type": "stale",
+                "message": "daemon runs a different source fingerprint "
+                "(package sources changed since daemon start); restart it "
+                "with: daemon stop && daemon start",
+                "daemon_code_version": daemon_version,
+            }
+            # Refused before trace adoption, but a client-sent trace id is
+            # still echoed so the refusal joins the client's request tree.
+            trace_id = request.get("trace_id")
+            if isinstance(trace_id, str) and trace_id:
+                frame["trace_id"] = trace_id
+            self._send(frame)
             return False
         return True
 
@@ -625,13 +797,11 @@ class _Handler(socketserver.StreamRequestHandler):
         experiments = request.get("experiments") or []
         unknown = [eid for eid in experiments if eid not in EXPERIMENTS]
         if not experiments or unknown:
-            self._send(
-                {
-                    "type": "error",
-                    "message": f"unknown experiment(s): {', '.join(unknown)}"
-                    if unknown
-                    else "submit requires a non-empty experiments list",
-                }
+            self._refuse(
+                daemon,
+                f"unknown experiment(s): {', '.join(unknown)}"
+                if unknown
+                else "submit requires a non-empty experiments list",
             )
             return None
         if not self._check_shard_size(request):
@@ -650,7 +820,7 @@ class _Handler(socketserver.StreamRequestHandler):
 
         config = request.get("job")
         if not isinstance(config, dict):
-            self._send({"type": "error", "message": "fleet requires a job config object"})
+            self._refuse(daemon, "fleet requires a job config object")
             return None
         if not self._check_shard_size(request):
             return None
@@ -659,7 +829,7 @@ class _Handler(socketserver.StreamRequestHandler):
         try:
             job = FleetTrafficJob(**config)
         except (TypeError, ValueError) as error:
-            self._send({"type": "error", "message": f"bad fleet job config: {error}"})
+            self._refuse(daemon, f"bad fleet job config: {error}")
             return None
         return [job]
 
@@ -687,6 +857,8 @@ class _Handler(socketserver.StreamRequestHandler):
         request while requests do not overlap).
         """
         reg = telemetry.registry()
+        record = self._record
+        trace_id = telemetry.current_trace_id()
         roots = {id(job) for job in jobs}
         memory0 = daemon.cache.memory_hits
         auth_latency = before = None
@@ -712,6 +884,11 @@ class _Handler(socketserver.StreamRequestHandler):
                     served += 1
                 else:
                     computed += 1
+                if record is not None:
+                    record.jobs += 1
+                    if event.outcome is not None and not event.outcome.ok:
+                        record.failed_jobs += 1
+                        record.fail("job_failure", event.outcome.error or "job failed")
             if client_gone:
                 continue
             include_value = (
@@ -724,6 +901,7 @@ class _Handler(socketserver.StreamRequestHandler):
                 self._send(
                     {
                         "type": "event",
+                        "trace_id": trace_id,
                         "event": event.to_dict(include_value=include_value),
                     }
                 )
@@ -776,6 +954,8 @@ class ExperimentDaemon:
         retry_attempts: int = 3,
         retry_backoff_s: float = 0.1,
         faults: "faults_mod.FaultInjector | None" = None,
+        recorder_capacity: int = 256,
+        slow_request_s: float = 1.0,
     ):
         self.socket_path = Path(socket_path) if socket_path else default_socket_path()
         self.cache = MemoryIndexCache(
@@ -787,6 +967,9 @@ class ExperimentDaemon:
             backoff_s=retry_backoff_s,
         )
         self.queue = RequestQueue(max_inflight=max_inflight, queue_depth=queue_depth)
+        self.recorder = telemetry.FlightRecorder(
+            capacity=recorder_capacity, slow_threshold_s=slow_request_s
+        )
         self.faults = faults if faults is not None else faults_mod.injector()
         self.started_at = time.time()
         self.requests = 0
@@ -867,6 +1050,7 @@ class ExperimentDaemon:
             "memory_hits": self.cache.memory_hits,
             "disk_hits": self.cache.disk_hits,
             "disk_misses": self.cache.stats.misses,
+            "recorder": self.recorder.status(),
             "metrics": telemetry.registry().snapshot(),
         }
 
@@ -1025,6 +1209,8 @@ class DaemonClient:
         code_version: str | None = None,
         timeout_s: float | None = None,
         request_id: str | None = None,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Submit experiments; yield ``event`` frames then the ``done`` frame.
 
@@ -1035,6 +1221,9 @@ class DaemonClient:
         sets a server-side deadline (a ``timeout`` frame settles the
         stream); ``request_id`` names the request for the ``cancel`` op
         (the daemon assigns one otherwise, echoed in ``accepted``).
+        ``trace_id``/``parent_span`` carry the client's trace context so
+        daemon + worker spans join the client's tree (the daemon mints a
+        trace id itself otherwise; frames echo it either way).
         """
         return self._stream(
             {
@@ -1048,6 +1237,8 @@ class DaemonClient:
                 "code_version": code_version,
                 "timeout_s": timeout_s,
                 "request_id": request_id,
+                "trace_id": trace_id,
+                "parent_span": parent_span,
             }
         )
 
@@ -1059,10 +1250,12 @@ class DaemonClient:
         code_version: str | None = None,
         timeout_s: float | None = None,
         request_id: str | None = None,
+        trace_id: str | None = None,
+        parent_span: str | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Submit one fleet traffic job config; yield ``event`` frames then
         the ``done`` frame (which carries the request's auth-latency
-        histogram).  Staleness/deadline/cancel semantics match
+        histogram).  Staleness/deadline/cancel/trace-context semantics match
         :meth:`submit`.
         """
         return self._stream(
@@ -1074,6 +1267,8 @@ class DaemonClient:
                 "code_version": code_version,
                 "timeout_s": timeout_s,
                 "request_id": request_id,
+                "trace_id": trace_id,
+                "parent_span": parent_span,
             }
         )
 
@@ -1090,6 +1285,47 @@ class DaemonClient:
         if response.get("type") != "metrics":
             raise DaemonError(f"unexpected metrics response: {response}")
         return response.get("text", "")
+
+    def dump(self) -> dict[str, Any]:
+        """The daemon's full flight-recorder ring plus its summary fields."""
+        response = self.request({"op": "dump"})
+        if response.get("type") != "dump":
+            raise DaemonError(f"unexpected dump response: {response}")
+        return response
+
+    def tail(self, count: int = 10) -> dict[str, Any]:
+        """The newest ``count`` flight-recorder records (one response frame)."""
+        response = self.request({"op": "tail", "count": count})
+        if response.get("type") != "tail":
+            raise DaemonError(f"unexpected tail response: {response}")
+        return response
+
+    def tail_follow(self, count: int = 10) -> Iterator[dict[str, Any]]:
+        """Yield the newest ``count`` records, then each new one as it lands.
+
+        The stream runs until the daemon goes away (``DaemonError``) or the
+        caller stops consuming and closes the generator; ``keepalive``
+        frames from the daemon are filtered out here.
+        """
+        try:
+            with self._connect() as sock, sock.makefile("rwb") as stream:
+                send_frame(
+                    stream,
+                    {"v": PROTOCOL_VERSION, "op": "tail", "count": count, "follow": True},
+                )
+                while True:
+                    frame = recv_frame(stream)
+                    if frame is None:
+                        return
+                    if frame.get("type") == "tail":
+                        for record in frame.get("records", []):
+                            yield record
+                    elif frame.get("type") == "record":
+                        yield frame["record"]
+                    elif frame.get("type") == "error":
+                        raise DaemonError(str(frame.get("message")))
+        except OSError as error:
+            raise DaemonError(f"daemon connection failed: {error}") from None
 
     def ping(self) -> dict[str, Any]:
         return self.request({"op": "ping"})
@@ -1116,6 +1352,8 @@ def start_daemon(
     trace: str | Path | None = None,
     max_inflight: int = 4,
     queue_depth: int = 16,
+    recorder_capacity: int = 256,
+    slow_request_s: float = 1.0,
 ) -> int:
     """Spawn a detached daemon process and wait until it answers pings.
 
@@ -1140,6 +1378,10 @@ def start_daemon(
         str(max_inflight),
         "--queue-depth",
         str(queue_depth),
+        "--recorder-capacity",
+        str(recorder_capacity),
+        "--slow-request-s",
+        str(slow_request_s),
     ]
     if cache_dir is not None:
         argv += ["--cache-dir", str(cache_dir)]

@@ -288,7 +288,11 @@ def _span_labels(job: Job) -> dict[str, Any]:
 
 
 def _execute_collected(
-    job: Job, parent_span: str | None, submitted_ts: float | None, trace: bool
+    job: Job,
+    parent_span: str | None,
+    submitted_ts: float | None,
+    trace: bool,
+    trace_id: str | None = None,
 ) -> tuple[Any, float, list[dict[str, Any]], dict[str, Any]]:
     """Pool-worker entry with telemetry: run the job under a span, measure
     queue wait, and ship the spans + the worker registry's per-job metric
@@ -298,13 +302,15 @@ def _execute_collected(
     snapshot is exactly this job's contribution; the parent folds it into
     its own registry (:meth:`repro.telemetry.MetricsRegistry.merge_snapshot`)
     -- shard-local histograms merge exactly by construction.  Worker spans
-    parent onto the submitting process's active span (``parent_span``), so
-    the trace is one tree across the pool.
+    parent onto the submitting process's active span (``parent_span``) and
+    carry the submitting request's ``trace_id``, so the trace is one tree
+    across the pool and every record names its originating request.
     """
     faults.injector().on_job_start()
     telemetry.enable_collection()
     if trace and not telemetry.tracing_active():
         telemetry.enable_tracing(telemetry.SpanBuffer())
+    telemetry.set_trace_id(trace_id)
     reg = telemetry.registry()
     # A forked worker inherits the submitting process's registry contents;
     # start this job's delta from empty (the trailing drain() keeps it empty
@@ -416,12 +422,14 @@ def iter_jobs(
         attempts: dict[int, int] = {}
         parent_span = telemetry.current_span_id() if collecting else None
         trace = collecting and telemetry.tracing_active()
+        trace_id = telemetry.current_trace_id() if collecting else None
 
         def _submit(index: int) -> None:
             attempts[index] = attempts.get(index, 0) + 1
             if collecting:
                 future = submit(
-                    _execute_collected, jobs[index], parent_span, time.time(), trace
+                    _execute_collected, jobs[index], parent_span, time.time(), trace,
+                    trace_id,
                 )
             else:
                 future = submit(_pool_execute, jobs[index])

@@ -16,6 +16,9 @@ Usage::
     python -m repro.experiments cache-prune --max-mb 64  # trim without running
     python -m repro.experiments daemon start     # warm daemon (pool + memory index)
     python -m repro.experiments daemon status    # JSON status of the running daemon
+    python -m repro.experiments daemon dump      # flight-recorder ring as NDJSON
+    python -m repro.experiments daemon tail -n 5 --follow
+                                                 # newest request records, then live
     python -m repro.experiments daemon stop
     python -m repro.experiments fleet --devices 10000 --requests 2000 --jobs 4
                                                  # ad-hoc fleet authentication run
@@ -306,6 +309,7 @@ def _daemon_attempt(
             quick=not args.full,
             shard_size=args.shard_size,
             code_version=source_fingerprint(),
+            trace_id=telemetry.current_trace_id(),
         ):
             kind = frame.get("type")
             if kind == "event":
@@ -389,6 +393,11 @@ def _fleet_via_daemon(
     daemon too old to know the ``fleet`` op, or a stream that died).
     Falling back is always safe here: nothing reaches stdout until the
     daemon's ``done`` frame has been fully consumed.
+
+    The invocation's trace context rides along: the daemon adopts this
+    process's ``trace_id`` and parents its ``daemon.request`` span under the
+    client's active span, so a traced daemon-routed request forms one tree
+    across client, daemon, and the daemon's pool workers.
     """
     client = DaemonClient()
     if not client.is_running():
@@ -399,7 +408,11 @@ def _fleet_via_daemon(
         retry = False
         try:
             for frame in client.fleet(
-                job.config, shard_size=shard_size, code_version=source_fingerprint()
+                job.config,
+                shard_size=shard_size,
+                code_version=source_fingerprint(),
+                trace_id=telemetry.current_trace_id(),
+                parent_span=telemetry.current_span_id(),
             ):
                 kind = frame.get("type")
                 if kind == "event":
@@ -503,8 +516,10 @@ def _fleet_main(argv: list[str]) -> int:
     parser.add_argument("--no-daemon", action="store_true",
                         help="never route the run through a warm daemon")
     parser.add_argument("--trace", default=None, metavar="FILE",
-                        help="append NDJSON span records to FILE (forces "
-                        "inline execution)")
+                        help="append NDJSON span records to FILE; daemon-routed "
+                        "runs write this process's spans here (the daemon's own "
+                        "spans go to its --trace file, joined under one trace "
+                        "id), inline runs cover the whole request")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print("--jobs must be a positive worker count", file=sys.stderr)
@@ -590,27 +605,34 @@ def _fleet_main(argv: list[str]) -> int:
     try:
         start = time.perf_counter()
         routed = None
-        # A warm store cannot ride through the daemon protocol (jobs are
-        # rebuilt from their JSON config there), so --warm-store runs inline.
-        if not args.no_daemon and args.trace is None and not args.warm_store:
-            try:
-                routed = _fleet_via_daemon(job, shard_size)
-            except DaemonError as error:
-                # e.g. a tampered default socket directory -- never trust it,
-                # but the run itself still proceeds inline.
-                print(f"daemon unavailable ({error}); running inline", file=sys.stderr)
-        if routed is not None:
-            payload, latency = routed
-            value = job.decode(payload)
-        else:
-            reg = telemetry.registry()
-            auth_latency = reg.histogram(telemetry.FLEET_AUTH_SECONDS)
-            before = telemetry.Histogram.from_dict(auth_latency.to_dict())
-            with telemetry.span("fleet.request", kind="fleet", requests=args.requests):
+        # One root span covers the whole request either way: daemon-routed
+        # runs hand its id to the daemon as parent_span, so the daemon's
+        # spans (and its workers') join this tree under one trace id.
+        with telemetry.span("fleet.request", kind="fleet", requests=args.requests):
+            # A warm store cannot ride through the daemon protocol (jobs are
+            # rebuilt from their JSON config there), so --warm-store runs
+            # inline.
+            if not args.no_daemon and not args.warm_store:
+                try:
+                    routed = _fleet_via_daemon(job, shard_size)
+                except DaemonError as error:
+                    # e.g. a tampered default socket directory -- never trust
+                    # it, but the run itself still proceeds inline.
+                    print(
+                        f"daemon unavailable ({error}); running inline",
+                        file=sys.stderr,
+                    )
+            if routed is not None:
+                payload, latency = routed
+                value = job.decode(payload)
+            else:
+                reg = telemetry.registry()
+                auth_latency = reg.histogram(telemetry.FLEET_AUTH_SECONDS)
+                before = telemetry.Histogram.from_dict(auth_latency.to_dict())
                 value = run_sharded(
                     [job], shard_size=shard_size, workers=args.jobs, cache=None
                 )[0].value
-            latency = auth_latency.subtract(before)
+                latency = auth_latency.subtract(before)
         elapsed = time.perf_counter() - start
     finally:
         if trace_writer is not None:
@@ -621,6 +643,10 @@ def _fleet_main(argv: list[str]) -> int:
 
     summary = TrafficSummary.from_payload(value)
     percentiles = telemetry.percentiles_ms(latency)
+    # A fully-cached daemon reply replays the stored result and measures no
+    # per-auth latency; mark that explicitly so --json consumers need not
+    # infer it from "count": 0 / null percentiles.
+    percentiles["cached"] = percentiles["count"] == 0
     print(
         f"fleet: {args.requests} auths in {elapsed:.3f}s "
         f"({args.requests / elapsed:,.0f} auths/sec, {args.jobs} worker(s))",
@@ -690,7 +716,7 @@ def _daemon_main(argv: list[str]) -> int:
         "pool + in-memory result index over a unix socket).",
     )
     sub = parser.add_subparsers(dest="action", required=True)
-    for action in ("start", "stop", "status", "metrics", "run"):
+    for action in ("start", "stop", "status", "metrics", "dump", "tail", "run"):
         sp = sub.add_parser(action)
         sp.add_argument(
             "--socket",
@@ -736,6 +762,37 @@ def _daemon_main(argv: list[str]) -> int:
                 help="work requests waiting beyond --max-inflight before new "
                 "ones are refused with a busy frame (default: 16)",
             )
+            sp.add_argument(
+                "--recorder-capacity",
+                type=int,
+                default=256,
+                metavar="N",
+                help="completed work requests retained in the flight "
+                "recorder's ring buffer; 0 disables recording (default: 256)",
+            )
+            sp.add_argument(
+                "--slow-request-s",
+                type=float,
+                default=1.0,
+                metavar="SECONDS",
+                help="requests at least this long are flagged slow in the "
+                "flight recorder and counted in status (default: 1.0)",
+            )
+        if action == "tail":
+            sp.add_argument(
+                "-n",
+                "--count",
+                type=int,
+                default=10,
+                metavar="N",
+                help="newest flight-recorder records to print (default: 10)",
+            )
+            sp.add_argument(
+                "--follow",
+                action="store_true",
+                help="after the initial records, stream each new request "
+                "record as it completes (until interrupted)",
+            )
         if action == "stop":
             sp.add_argument(
                 "--force",
@@ -762,6 +819,18 @@ def _daemon_main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.action in ("start", "run") and (
+        args.recorder_capacity < 0 or args.slow_request_s <= 0
+    ):
+        print(
+            "--recorder-capacity must be >= 0 and --slow-request-s must be "
+            "positive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "tail" and args.count < 0:
+        print("--count must be non-negative", file=sys.stderr)
+        return 2
     try:
         socket_path = args.socket or default_socket_path()
         if args.action == "start":
@@ -772,6 +841,8 @@ def _daemon_main(argv: list[str]) -> int:
                 trace=args.trace,
                 max_inflight=args.max_inflight,
                 queue_depth=args.queue_depth,
+                recorder_capacity=args.recorder_capacity,
+                slow_request_s=args.slow_request_s,
             )
             print(f"daemon started (pid {pid}, socket {socket_path})")
             return 0
@@ -793,6 +864,32 @@ def _daemon_main(argv: list[str]) -> int:
             client = DaemonClient(socket_path)
             print(client.metrics(), end="")
             return 0
+        if args.action == "dump":
+            dump = DaemonClient(socket_path).dump()
+            records = dump.get("records", [])
+            for record in records:
+                print(json.dumps(record, separators=(",", ":")))
+            print(
+                f"dump: {len(records)} record(s) "
+                f"({dump.get('recorded_total', 0)} recorded, "
+                f"{dump.get('dropped', 0)} dropped, "
+                f"{dump.get('slow_requests', 0)} slow, "
+                f"capacity {dump.get('capacity', 0)})",
+                file=sys.stderr,
+            )
+            return 0
+        if args.action == "tail":
+            client = DaemonClient(socket_path)
+            if args.follow:
+                try:
+                    for record in client.tail_follow(args.count):
+                        print(json.dumps(record, separators=(",", ":")), flush=True)
+                except KeyboardInterrupt:
+                    pass
+                return 0
+            for record in client.tail(args.count).get("records", []):
+                print(json.dumps(record, separators=(",", ":")))
+            return 0
         # "run": serve in the foreground (what `daemon start` spawns).
         ExperimentDaemon(
             socket_path,
@@ -801,6 +898,8 @@ def _daemon_main(argv: list[str]) -> int:
             trace=args.trace,
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
+            recorder_capacity=args.recorder_capacity,
+            slow_request_s=args.slow_request_s,
         ).serve_forever()
         return 0
     except DaemonError as error:
@@ -810,6 +909,20 @@ def _daemon_main(argv: list[str]) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    # One trace id per CLI invocation, minted whether or not spans are being
+    # recorded: daemon-routed requests carry it in their frames and the
+    # daemon's flight recorder files every request under it, and when --trace
+    # is active every span record this invocation produces (here, in the
+    # daemon, in its pool workers) shares it -- one tree per request.  The
+    # context is restored on exit so in-process callers are not left tagged.
+    token = telemetry.set_trace_id(telemetry.new_trace_id())
+    try:
+        return _dispatch(argv)
+    finally:
+        telemetry.reset_trace_id(token)
+
+
+def _dispatch(argv: list[str] | None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["cache-prune"]:
         return _cache_prune_main(argv[1:])

@@ -9,7 +9,12 @@ The observability layer over the engine, daemon, and fleet:
 * :mod:`repro.telemetry.metrics` -- a process-global registry of counters,
   gauges, and fixed-log-bucket histograms whose shard-local instances merge
   *exactly* (per-bucket integer addition), JSON snapshots, per-job worker
-  deltas (``drain``/``merge_snapshot``), and Prometheus text exposition.
+  deltas (``drain``/``merge_snapshot``), and Prometheus text exposition;
+* :mod:`repro.telemetry.recorder` -- the daemon flight recorder: a bounded
+  ring of per-request :class:`RequestRecord` diagnostics (frames seen,
+  queue wait, phase timings, outcome, retry/rebuild/fault counters) with a
+  slow-request threshold and a last-error audit, served by the daemon's
+  ``dump``/``tail`` ops.
 
 Design constraints (enforced by tests and CI):
 
@@ -58,18 +63,24 @@ from repro.telemetry.metrics import (
     collection_enabled,
     disable_collection,
     enable_collection,
+    escape_label_value,
     percentiles_ms,
     registry,
 )
+from repro.telemetry.recorder import FlightRecorder, RequestRecord
 from repro.telemetry.spans import (
     TRACE_RECORD_KEYS,
     SpanBuffer,
     TraceWriter,
     current_span_id,
+    current_trace_id,
     disable_tracing,
     drain_worker_spans,
     enable_tracing,
     new_span_id,
+    new_trace_id,
+    reset_trace_id,
+    set_trace_id,
     span,
     tracing_active,
     write_records,
@@ -107,21 +118,28 @@ __all__ = [
     "FLEET_AUTH_SECONDS",
     "TRACE_RECORD_KEYS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RequestRecord",
     "SpanBuffer",
     "TraceWriter",
     "collection_enabled",
     "current_span_id",
+    "current_trace_id",
     "disable_collection",
     "disable_tracing",
     "drain_worker_spans",
     "enable_collection",
     "enable_tracing",
+    "escape_label_value",
     "new_span_id",
+    "new_trace_id",
     "percentiles_ms",
     "registry",
+    "reset_trace_id",
+    "set_trace_id",
     "span",
     "tracing_active",
     "write_records",

@@ -404,7 +404,8 @@ class MetricsRegistry:
             for index in sorted(histogram.buckets):
                 cumulative += histogram.buckets[index]
                 bound = histogram.bucket_upper_bound(index)
-                lines.append(f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}')
+                le = escape_label_value(_format_value(bound))
+                lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
             lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
             lines.append(f"{metric}_sum {_format_value(histogram.sum)}")
             lines.append(f"{metric}_count {histogram.count}")
@@ -416,6 +417,17 @@ def _format_value(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value per the text-exposition format.
+
+    Backslash, double-quote, and newline are the three characters the format
+    requires escaping inside ``label="..."``; everything else passes through
+    verbatim.  Backslash must be escaped first or the other escapes would be
+    double-escaped.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
 #: Process-global registry every instrumented call site records into.

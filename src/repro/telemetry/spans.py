@@ -9,9 +9,17 @@ never from any random source, so tracing cannot perturb RNG streams.
 
 One NDJSON record is written per *completed* span::
 
-    {"span":"a3f-2","parent":"a3f-1","name":"job.run","kind":"engine",
-     "pid":2623,"ts":1754524800.123,"duration_s":0.0123,
+    {"trace":"t198a-2623-1","span":"a3f-2","parent":"a3f-1","name":"job.run",
+     "kind":"engine","pid":2623,"ts":1754524800.123,"duration_s":0.0123,
      "labels":{"job":"mc[2%,30C][0:8192]"}}
+
+``trace`` is the request-scoped trace id: minted once per CLI invocation or
+daemon request (:func:`new_trace_id`), installed with :func:`set_trace_id`,
+and propagated across process boundaries (protocol frames carry it to the
+daemon, the executor ships it to pool workers), so every span a single
+request produces -- client, daemon, and workers -- shares one trace id and
+viewers can reconstruct one tree per *request* rather than per process.
+Like span ids it is clock/pid/counter-derived, never random.
 
 ``ts`` is the wall-clock start (epoch seconds; comparable across processes
 on one machine), ``duration_s`` a monotonic ``perf_counter`` delta.
@@ -40,18 +48,61 @@ from pathlib import Path
 from typing import Any, TextIO
 
 #: Keys every trace record carries (the NDJSON schema CI validates).
-TRACE_RECORD_KEYS = ("span", "parent", "name", "kind", "pid", "ts", "duration_s", "labels")
+TRACE_RECORD_KEYS = (
+    "trace",
+    "span",
+    "parent",
+    "name",
+    "kind",
+    "pid",
+    "ts",
+    "duration_s",
+    "labels",
+)
 
 _CURRENT: contextvars.ContextVar[str | None] = contextvars.ContextVar(
     "repro_current_span", default=None
 )
+_TRACE: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_current_trace", default=None
+)
 _SEQUENCE = itertools.count(1)
+_TRACE_SEQUENCE = itertools.count(1)
 _SINK: "TraceWriter | SpanBuffer | None" = None
 
 
 def new_span_id() -> str:
     """Process-unique span id from a counter (deliberately RNG-free)."""
     return f"{os.getpid():x}-{next(_SEQUENCE)}"
+
+
+def new_trace_id() -> str:
+    """Globally-unique-enough request trace id (deliberately RNG-free).
+
+    ``t<epoch-ms hex>-<pid hex>-<sequence>`` -- the millisecond timestamp
+    disambiguates across boots, the pid across concurrent processes, and the
+    process-local counter across requests minted in the same millisecond.
+    """
+    return f"t{int(time.time() * 1000):x}-{os.getpid():x}-{next(_TRACE_SEQUENCE)}"
+
+
+def set_trace_id(trace_id: str | None) -> contextvars.Token:
+    """Install ``trace_id`` as the current trace context; returns the token.
+
+    Pass the token to :func:`reset_trace_id` to restore the previous value
+    (a daemon handler thread does this around each request).
+    """
+    return _TRACE.set(trace_id)
+
+
+def reset_trace_id(token: contextvars.Token) -> None:
+    """Restore the trace context captured by a :func:`set_trace_id` token."""
+    _TRACE.reset(token)
+
+
+def current_trace_id() -> str | None:
+    """The active request trace id, or ``None`` outside any request."""
+    return _TRACE.get()
 
 
 def current_span_id() -> str | None:
@@ -177,6 +228,7 @@ class _Span:
         if sink is not None:
             sink.write(
                 {
+                    "trace": _TRACE.get(),
                     "span": self.span_id,
                     "parent": self.parent,
                     "name": self.name,

@@ -897,3 +897,272 @@ class TestCLIBusyRetry:
         assert "table2:" in captured.out
         holder_thread.join(timeout=60.0)
         assert holder[-1]["type"] == "done"
+
+
+class TestFlightRecorderOps:
+    """The dump/tail ops and the recorder surface in status."""
+
+    def test_dump_replays_a_completed_request(self, daemon):
+        frames = list(daemon.submit(["table1"]))
+        assert frames[-1]["type"] == "done"
+        dump = daemon.dump()
+        assert dump["capacity"] == 256
+        assert dump["dropped"] == 0
+        (record,) = dump["records"]
+        assert record["op"] == "submit"
+        assert record["outcome"] == "done"
+        assert record["request_id"] == frames[0]["request_id"]
+        assert record["trace_id"] == frames[0]["trace_id"]
+        assert record["jobs"] >= 1 and record["failed_jobs"] == 0
+        assert record["frames"]["accepted"] == 1
+        assert record["frames"]["done"] == 1
+        assert record["frames"]["event"] >= 1
+        assert record["duration_s"] > 0.0
+        assert record["error"] is None
+
+    def test_warm_request_is_recorded_warm(self, daemon):
+        list(daemon.submit(["table2"]))
+        list(daemon.submit(["table2"]))
+        cold, warm = daemon.dump()["records"]
+        assert cold["warm"] is False
+        assert warm["warm"] is True
+        assert warm["memory_hits"] >= 1
+
+    def test_refused_request_lands_in_the_error_audit(self, daemon):
+        frames = list(daemon.submit(["nope"]))
+        assert frames[-1]["type"] == "error"
+        # Refused at validation, before a request id exists: no ring record,
+        # but the error audit still surfaces it in status.
+        assert daemon.dump()["records"] == []
+        last = daemon.status()["recorder"]["last_error"]
+        assert last["type"] == "bad_request"
+        assert "unknown experiment" in last["message"]
+        assert last["age_s"] >= 0.0
+
+    def test_timed_out_request_is_recorded(self, daemon):
+        frames = list(daemon.submit(["table1"], timeout_s=1e-6))
+        assert frames[-1]["type"] == "timeout"
+        record = daemon.dump()["records"][-1]
+        assert record["outcome"] == "timeout"
+        assert record["frames"]["timeout"] == 1
+        assert record["frames"]["accepted"] == 1
+
+    def test_status_reports_recorder_health(self, daemon):
+        recorder = daemon.status()["recorder"]
+        assert recorder == {
+            "enabled": True,
+            "capacity": 256,
+            "occupancy": 0,
+            "recorded_total": 0,
+            "slow_requests": 0,
+            "slow_threshold_s": 1.0,
+            "last_error": None,
+        }
+        list(daemon.submit(["table1"]))
+        recorder = daemon.status()["recorder"]
+        assert recorder["occupancy"] == 1
+        assert recorder["recorded_total"] == 1
+
+    def test_tail_returns_the_newest_records_and_a_cursor(self, daemon):
+        for _ in range(3):
+            list(daemon.submit(["table1"]))
+        tail = daemon.tail(count=2)
+        assert len(tail["records"]) == 2
+        assert tail["seq"] == 3
+        assert [r["seq"] for r in tail["records"]] == [2, 3]
+        assert daemon.tail(count=0)["records"] == []
+
+    def test_tail_rejects_a_bad_count(self, daemon):
+        response = daemon.request({"op": "tail", "count": -1})
+        assert response["type"] == "error"
+        assert "non-negative" in response["message"]
+        response = daemon.request({"op": "tail", "count": True})
+        assert response["type"] == "error"
+
+    def test_tail_follow_streams_new_records(self, daemon):
+        list(daemon.submit(["table1"]))
+        follow = daemon.tail_follow(count=5)
+        first = next(follow)
+        assert first["op"] == "submit" and first["seq"] == 1
+
+        def run_more():
+            list(daemon.submit(["table2"]))
+
+        thread = threading.Thread(target=run_more, daemon=True)
+        thread.start()
+        fresh = next(follow)  # blocks until the new request completes
+        thread.join(timeout=30.0)
+        assert fresh["seq"] == 2
+        follow.close()
+
+    def test_disabled_recorder_serves_identical_results(self, make_daemon):
+        bare = make_daemon("bare.sock", recorder_capacity=0)
+        frames = list(bare.submit(["table2"]))
+        assert frames[-1]["type"] == "done"
+        assert bare.dump()["records"] == []
+        assert bare.tail()["records"] == []
+        recorder = bare.status()["recorder"]
+        assert recorder["enabled"] is False and recorder["occupancy"] == 0
+        # Recording off must not change the payload the daemon serves.
+        recorded = make_daemon("recorded.sock")
+        recorded_frames = list(recorded.submit(["table2"]))
+        value = [
+            f["event"]["value"] for f in frames
+            if f["type"] == "event" and "value" in f["event"]
+        ]
+        recorded_value = [
+            f["event"]["value"] for f in recorded_frames
+            if f["type"] == "event" and "value" in f["event"]
+        ]
+        assert value == recorded_value
+
+    def test_dump_and_tail_cli(self, daemon, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        assert main(["table1"]) == 0
+        capsys.readouterr()
+        assert main(["daemon", "dump"]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert records and records[-1]["op"] == "submit"
+        assert "dump: 1 record(s)" in captured.err
+        assert main(["daemon", "tail", "-n", "1"]) == 0
+        tail_out = capsys.readouterr().out
+        assert json.loads(tail_out.splitlines()[-1])["seq"] == records[-1]["seq"]
+
+    def test_recorder_flag_validation(self, capsys):
+        assert main(["daemon", "start", "--recorder-capacity", "-1"]) == 2
+        assert "--recorder-capacity" in capsys.readouterr().err
+        assert main(["daemon", "start", "--slow-request-s", "0"]) == 2
+        assert "--slow-request-s" in capsys.readouterr().err
+        assert main(["daemon", "tail", "-n", "-1"]) == 2
+        assert "--count" in capsys.readouterr().err
+
+
+class TestTraceIdPropagation:
+    """Request trace ids ride every frame and join cross-process spans."""
+
+    def test_daemon_mints_a_trace_id_when_the_client_sends_none(self, daemon):
+        frames = list(daemon.submit(["table1"]))
+        trace_id = frames[0]["trace_id"]
+        assert isinstance(trace_id, str) and trace_id.startswith("t")
+        for frame in frames:
+            assert frame["trace_id"] == trace_id
+
+    def test_client_supplied_trace_id_is_adopted_and_echoed(self, daemon):
+        frames = list(daemon.submit(["table1"], trace_id="t-mine-1"))
+        assert {frame["trace_id"] for frame in frames} == {"t-mine-1"}
+        record = daemon.dump()["records"][-1]
+        assert record["trace_id"] == "t-mine-1"
+
+    def test_fleet_frames_carry_the_trace_id(self, daemon):
+        frames = list(daemon.fleet(FLEET_CONFIG, trace_id="t-fleet-1"))
+        assert frames[-1]["type"] == "done"
+        assert {frame["trace_id"] for frame in frames} == {"t-fleet-1"}
+
+    def test_stale_refusal_still_echoes_the_trace_id(self, daemon):
+        frames = list(
+            daemon.submit(["table1"], code_version="nope", trace_id="t-stale-1")
+        )
+        assert [frame["type"] for frame in frames] == ["stale"]
+        assert frames[0]["trace_id"] == "t-stale-1"
+
+
+class TestEndToEndTraceTree:
+    """The acceptance path: one daemon-routed fleet request, one trace tree
+    spanning the client process, the daemon process, and >= 2 pool workers,
+    and a flight-recorder dump that replays the request afterwards."""
+
+    def test_daemon_routed_fleet_request_forms_one_cross_process_tree(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        socket_path = tmp_path / "e2e.sock"
+        daemon_trace = tmp_path / "daemon.trace"
+        client_trace = tmp_path / "client.trace"
+        assert main([
+            "daemon", "start", "--socket", str(socket_path),
+            "--cache-dir", str(tmp_path / "cache"), "--workers", "2",
+            "--trace", str(daemon_trace),
+        ]) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(socket_path))
+        try:
+            assert main([
+                "fleet", "--seed", "99", "--devices", "64", "--requests", "240",
+                "--challenges", "2", "--impostor-ratio", "0.25",
+                "--temperature-jitter", "5.0", "--shard-size", "30",
+                "--json", "--trace", str(client_trace),
+            ]) == 0
+            captured = capsys.readouterr()
+            assert "daemon: routing via" in captured.err
+            assert json.loads(captured.out)["latency"]["count"] == 240
+
+            client_records = [
+                json.loads(line)
+                for line in client_trace.read_text().splitlines() if line.strip()
+            ]
+            (trace_id,) = {r["trace"] for r in client_records}
+            assert any(r["name"] == "fleet.request" for r in client_records)
+
+            # The daemon writes its spans asynchronously; wait for the
+            # request's daemon.request span to land in its trace file.
+            deadline = time.time() + 30.0
+            while True:
+                daemon_records = [
+                    json.loads(line)
+                    for line in daemon_trace.read_text().splitlines()
+                    if line.strip()
+                ] if daemon_trace.exists() else []
+                tagged = [r for r in daemon_records if r.get("trace") == trace_id]
+                if any(r["name"] == "daemon.request" for r in tagged):
+                    break
+                assert time.time() < deadline, "daemon spans never appeared"
+                time.sleep(0.05)
+
+            merged = client_records + tagged
+            pids = {r["pid"] for r in merged}
+            assert len(pids) >= 4, (
+                f"expected client + daemon + >=2 workers, got pids {pids}"
+            )
+            # Exactly one root: every other span's parent is in the merged
+            # set, so the whole request is a single connected tree.
+            known = {r["span"] for r in merged}
+            roots = [
+                r for r in merged
+                if r["parent"] is None or r["parent"] not in known
+            ]
+            assert len(roots) == 1, [r["name"] for r in roots]
+            assert roots[0]["pid"] == client_records[0]["pid"]
+            fleet_root = next(
+                r for r in client_records if r["name"] == "fleet.request"
+            )
+            daemon_span = next(r for r in tagged if r["name"] == "daemon.request")
+            assert daemon_span["parent"] == fleet_root["span"]
+            assert any(r["name"] == "job.run" for r in tagged)
+
+            # The flight recorder replays the completed request on demand.
+            assert main(["daemon", "dump", "--socket", str(socket_path)]) == 0
+            dump_out = capsys.readouterr().out
+            records = [json.loads(line) for line in dump_out.splitlines()]
+            (record,) = [r for r in records if r["trace_id"] == trace_id]
+            assert record["op"] == "fleet"
+            assert record["outcome"] == "done"
+            assert record["jobs"] >= 1
+        finally:
+            main(["daemon", "stop", "--socket", str(socket_path)])
+            capsys.readouterr()
+
+
+class TestFleetCachedMarker:
+    def test_warm_fleet_json_marks_percentiles_cached(
+        self, daemon, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DAEMON_SOCKET", str(daemon.socket_path))
+        assert main(FLEET_CLI_ARGS + ["--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["latency"]["cached"] is False
+        assert cold["latency"]["p50_ms"] > 0.0
+        assert main(FLEET_CLI_ARGS + ["--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["latency"]["cached"] is True
+        assert warm["latency"]["count"] == 0
+        assert warm["latency"]["p50_ms"] is None

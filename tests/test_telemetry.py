@@ -397,3 +397,103 @@ class TestRngNonPerturbation:
         )
         latency = telemetry.registry().histogram(telemetry.FLEET_AUTH_SECONDS)
         assert latency.count == 24
+
+
+class TestTraceContext:
+    """Request trace ids: minting, contextvar round-trip, record stamping."""
+
+    def test_trace_ids_are_unique_and_structured(self):
+        import os
+
+        ids = {telemetry.new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        for trace_id in ids:
+            assert trace_id.startswith("t")
+            stamp, pid, seq = trace_id[1:].split("-")
+            assert int(stamp, 16) > 0
+            assert int(pid, 16) == os.getpid()
+            assert int(seq) > 0
+
+    def test_set_reset_round_trip(self):
+        assert telemetry.current_trace_id() is None
+        token = telemetry.set_trace_id("t1-2-3")
+        assert telemetry.current_trace_id() == "t1-2-3"
+        inner = telemetry.set_trace_id("t4-5-6")
+        assert telemetry.current_trace_id() == "t4-5-6"
+        telemetry.reset_trace_id(inner)
+        assert telemetry.current_trace_id() == "t1-2-3"
+        telemetry.reset_trace_id(token)
+        assert telemetry.current_trace_id() is None
+
+    def test_records_carry_the_active_trace_id(self):
+        buffer = SpanBuffer()
+        telemetry.enable_tracing(buffer)
+        token = telemetry.set_trace_id("t-req")
+        try:
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    pass
+        finally:
+            telemetry.reset_trace_id(token)
+        with telemetry.span("after"):
+            pass
+        inner, outer, after = buffer.drain()
+        assert tuple(inner) == TRACE_RECORD_KEYS
+        assert tuple(inner)[0] == "trace"
+        assert inner["trace"] == outer["trace"] == "t-req"
+        assert after["trace"] is None  # untagged outside the request context
+
+
+class TestPrometheusEdgeCases:
+    def test_escape_label_value(self):
+        from repro.telemetry import escape_label_value
+
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("line1\nline2") == "line1\\nline2"
+        # Backslash escapes first, or the quote escape would double-escape.
+        assert escape_label_value('\\"') == '\\\\\\"'
+        assert escape_label_value("\\n") == "\\\\n"
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_bucket_boundary_values_land_inclusively(self):
+        """Upper bounds are inclusive: a value exactly on a boundary stays
+        in the lower bucket, and the exposition's cumulative counts agree."""
+        histogram = Histogram()
+        scale, growth = histogram.scale, histogram.growth
+        assert histogram.bucket_index(scale) == 0          # (-inf, scale]
+        assert histogram.bucket_index(scale * growth) == 1
+        assert histogram.bucket_index(scale * growth * 1.0001) == 2
+        assert histogram.bucket_index(0.0) == 0
+        assert histogram.bucket_index(-1.0) == 0
+
+        registry = MetricsRegistry()
+        series = registry.histogram("edge_seconds")
+        series.observe(scale)                  # bucket 0
+        series.observe(series.bucket_upper_bound(4))  # bucket 4 exactly
+        text = registry.render_prometheus()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_edge_seconds_bucket")
+        ]
+        assert counts == [1, 2, 2]  # bucket 0, bucket 4, +Inf
+        assert 'le="+Inf"} 2' in text
+
+    def test_quantiles_clamp_to_observed_min_and_max(self):
+        histogram = Histogram()
+        histogram.observe(0.010)
+        # Single value: every quantile is exactly that value (min==max clamp).
+        assert histogram.quantile(0.01) == 0.010
+        assert histogram.quantile(0.99) == 0.010
+        histogram.observe(0.020)
+        for q in (0.0, 0.5, 1.0):
+            assert 0.010 <= histogram.quantile(q) <= 0.020
+        # Below-scale observations clamp up to the observed minimum, not to
+        # bucket 0's upper bound.
+        tiny = Histogram()
+        tiny.observe(1e-9)
+        assert tiny.quantile(0.5) == 1e-9

@@ -145,3 +145,73 @@ class TestMain:
         out = capsys.readouterr().out
         assert "cli.run" in out
         assert "job.run" in out
+
+
+def _tagged(trace, span, parent, name, duration, *, pid=100, **labels):
+    record = _record(span, parent, name, duration, pid=pid, **labels)
+    record["trace"] = trace
+    return record
+
+
+#: Two requests interleaved in one daemon trace file, plus the client-side
+#: spans of the first request in a second file (a cross-process merge).
+DAEMON_TRACE = [
+    _tagged("t-a", "70-1", "60-1", "daemon.request", 0.80, pid=700),
+    _tagged("t-a", "71-1", "70-1", "job.run", 0.70, pid=701),
+    _tagged("t-b", "70-2", None, "daemon.request", 0.40, pid=700),
+    _tagged("t-b", "72-1", "70-2", "job.run", 0.30, pid=702),
+]
+CLIENT_TRACE = [
+    _tagged("t-a", "60-1", None, "fleet.request", 1.00, pid=600),
+]
+
+
+class TestTraceIds:
+    def test_multiple_files_merge_into_one_tree(self, summarize, tmp_path, capsys):
+        client = tmp_path / "client.trace"
+        daemon = tmp_path / "daemon.trace"
+        client.write_text("".join(json.dumps(r) + "\n" for r in CLIENT_TRACE))
+        daemon.write_text("".join(json.dumps(r) + "\n" for r in DAEMON_TRACE))
+        assert summarize.main([str(client), str(daemon)]) == 0
+        out = capsys.readouterr().out
+        assert "5 span(s), 4 process(es), 2 trace id(s)" in out
+        # The merged critical path crosses the file boundary: the client root
+        # descends into the daemon's spans and then the worker's.
+        path_lines = out[out.index("critical path"):].splitlines()
+        assert [
+            line.split()[1] for line in path_lines[3:6]
+        ] == ["fleet.request", "daemon.request", "job.run"]
+
+    def test_trace_id_filter_narrows_every_view(self, summarize, tmp_path, capsys):
+        path = _write(tmp_path, DAEMON_TRACE)
+        assert summarize.main([str(path), "--trace-id", "t-b"]) == 0
+        out = capsys.readouterr().out
+        assert "2 span(s), 2 process(es), 1 trace id(s)" in out
+        assert "t-a" not in out
+
+    def test_unknown_trace_id_is_an_error(self, summarize, tmp_path, capsys):
+        path = _write(tmp_path, DAEMON_TRACE)
+        assert summarize.main([str(path), "--trace-id", "t-nope"]) == 1
+        assert "no spans carry trace id t-nope" in capsys.readouterr().err
+
+    def test_per_request_prints_one_path_per_trace_id(
+        self, summarize, tmp_path, capsys
+    ):
+        path = _write(tmp_path, DAEMON_TRACE + [SAMPLE[-1]])  # one untagged span
+        assert summarize.main([str(path), "--per-request"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path for request t-a" in out
+        assert "critical path for request t-b" in out
+        assert "critical path for request (untagged)" in out
+
+    def test_untagged_records_group_under_none(self, summarize):
+        groups = summarize.trace_groups(DAEMON_TRACE + [SAMPLE[0]])
+        assert list(groups) == ["t-a", "t-b", None]
+        assert [len(records) for records in groups.values()] == [2, 2, 1]
+
+    def test_pre_trace_id_files_still_load(self, summarize, tmp_path):
+        # Records without a "trace" key (older traces) pass validation.
+        path = _write(tmp_path, SAMPLE)
+        records = summarize.load_trace(path)
+        assert len(records) == 4
+        assert all("trace" not in record for record in records)
